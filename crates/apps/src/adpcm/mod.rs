@@ -1,0 +1,10 @@
+//! The adpcmdecode workload: IMA-ADPCM reference codec and the hardware
+//! decoder core.
+
+pub mod codec;
+pub mod hw;
+pub mod hw_enc;
+
+pub use codec::{decode, encode, synthetic_pcm, AdpcmState};
+pub use hw::AdpcmCoprocessor;
+pub use hw_enc::AdpcmEncCoprocessor;

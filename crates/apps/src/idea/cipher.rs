@@ -1,0 +1,402 @@
+//! IDEA block cipher reference implementation.
+//!
+//! The paper's "complex cryptographic algorithm": the International Data
+//! Encryption Algorithm — 64-bit blocks, a 128-bit key, 8 rounds of
+//! multiply-mod-65537 / add-mod-65536 / xor mixing plus a final output
+//! transform. Implemented from the specification (the classic PGP-era
+//! structure), with the decryption schedule derived by inverting the
+//! encryption subkeys.
+//!
+//! Every arithmetic routine takes an [`OpCounter`] so the very same code
+//! serves as the instrumented ARM software baseline and as the functional
+//! model inside the hardware core.
+
+use crate::counter::OpCounter;
+
+/// Number of 16-bit subkeys in an expanded IDEA key.
+pub const SUBKEYS: usize = 52;
+/// Number of mixing rounds.
+pub const ROUNDS: usize = 8;
+/// Block size in bytes.
+pub const BLOCK_BYTES: usize = 8;
+
+/// IDEA multiplication: a ⊙ b in GF(2^16 + 1) with 0 representing 2^16.
+pub fn mul<C: OpCounter>(a: u16, b: u16, ops: &mut C) -> u16 {
+    ops.mul(1);
+    ops.branch(2);
+    ops.alu(3);
+    let a32 = if a == 0 { 0x1_0000u32 } else { u32::from(a) };
+    let b32 = if b == 0 { 0x1_0000u32 } else { u32::from(b) };
+    let p = (u64::from(a32) * u64::from(b32)) % 65_537;
+    ops.div(1);
+    if p == 0x1_0000 {
+        0
+    } else {
+        p as u16
+    }
+}
+
+/// Addition mod 2^16.
+pub fn add<C: OpCounter>(a: u16, b: u16, ops: &mut C) -> u16 {
+    ops.alu(1);
+    a.wrapping_add(b)
+}
+
+/// Additive inverse mod 2^16.
+pub fn add_inv(a: u16) -> u16 {
+    a.wrapping_neg()
+}
+
+/// Multiplicative inverse in GF(2^16 + 1) (0 and 1 are self-inverse
+/// under the 0 ↔ 2^16 convention), by the extended Euclidean algorithm.
+pub fn mul_inv(x: u16) -> u16 {
+    if x <= 1 {
+        return x;
+    }
+    let x = u32::from(x);
+    let mut t1: u32 = 0x1_0001 / x;
+    let mut y: u32 = 0x1_0001 % x;
+    if y == 1 {
+        return (1u32.wrapping_sub(t1) & 0xFFFF) as u16;
+    }
+    let mut t0: u32 = 1;
+    let mut x = x;
+    loop {
+        let q = x / y;
+        x %= y;
+        t0 = t0.wrapping_add(q.wrapping_mul(t1));
+        if x == 1 {
+            return t0 as u16;
+        }
+        let q = y / x;
+        y %= x;
+        t1 = t1.wrapping_add(q.wrapping_mul(t0));
+        if y == 1 {
+            return (1u32.wrapping_sub(t1) & 0xFFFF) as u16;
+        }
+    }
+}
+
+/// A 128-bit IDEA key as eight big-endian 16-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdeaKey(pub [u16; 8]);
+
+impl IdeaKey {
+    /// Parses a key from 16 big-endian bytes.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        let mut words = [0u16; 8];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u16::from_be_bytes([bytes[2 * i], bytes[2 * i + 1]]);
+        }
+        IdeaKey(words)
+    }
+}
+
+/// Expands a key into the 52 encryption subkeys: the key is read as
+/// eight words, then repeatedly rotated left by 25 bits and re-read.
+pub fn expand_key(key: IdeaKey) -> [u16; SUBKEYS] {
+    let mut subkeys = [0u16; SUBKEYS];
+    let mut v: u128 = 0;
+    for &w in &key.0 {
+        v = (v << 16) | u128::from(w);
+    }
+    let mut idx = 0;
+    'outer: loop {
+        for i in 0..8 {
+            subkeys[idx] = (v >> (112 - 16 * i)) as u16;
+            idx += 1;
+            if idx == SUBKEYS {
+                break 'outer;
+            }
+        }
+        v = v.rotate_left(25);
+    }
+    subkeys
+}
+
+/// Derives the decryption subkeys from the encryption subkeys.
+pub fn invert_subkeys(ek: &[u16; SUBKEYS]) -> [u16; SUBKEYS] {
+    let mut dk = [0u16; SUBKEYS];
+    // Output transform keys of decryption come from the input transform
+    // of encryption round 1, and vice versa; middle additive keys swap
+    // for interior rounds.
+    let mut z = ek.iter();
+    let mut p = SUBKEYS;
+
+    let t1 = mul_inv(*z.next().expect("52 subkeys"));
+    let t2 = add_inv(*z.next().expect("52 subkeys"));
+    let t3 = add_inv(*z.next().expect("52 subkeys"));
+    p -= 1;
+    dk[p] = mul_inv(*z.next().expect("52 subkeys"));
+    p -= 1;
+    dk[p] = t3;
+    p -= 1;
+    dk[p] = t2;
+    p -= 1;
+    dk[p] = t1;
+
+    for round in 1..=ROUNDS - 1 {
+        let _ = round;
+        let t1 = *z.next().expect("52 subkeys");
+        p -= 1;
+        dk[p] = *z.next().expect("52 subkeys");
+        p -= 1;
+        dk[p] = t1;
+        let t1 = mul_inv(*z.next().expect("52 subkeys"));
+        let t2 = add_inv(*z.next().expect("52 subkeys"));
+        let t3 = add_inv(*z.next().expect("52 subkeys"));
+        p -= 1;
+        dk[p] = mul_inv(*z.next().expect("52 subkeys"));
+        p -= 1;
+        dk[p] = t2; // swapped
+        p -= 1;
+        dk[p] = t3;
+        p -= 1;
+        dk[p] = t1;
+    }
+
+    let t1 = *z.next().expect("52 subkeys");
+    p -= 1;
+    dk[p] = *z.next().expect("52 subkeys");
+    p -= 1;
+    dk[p] = t1;
+    let t1 = mul_inv(*z.next().expect("52 subkeys"));
+    let t2 = add_inv(*z.next().expect("52 subkeys"));
+    let t3 = add_inv(*z.next().expect("52 subkeys"));
+    p -= 1;
+    dk[p] = mul_inv(*z.next().expect("52 subkeys"));
+    p -= 1;
+    dk[p] = t3;
+    p -= 1;
+    dk[p] = t2;
+    p -= 1;
+    dk[p] = t1;
+    debug_assert_eq!(p, 0);
+    dk
+}
+
+/// Encrypts (or, with decryption subkeys, decrypts) one 64-bit block
+/// given as four big-endian words.
+pub fn crypt_block<C: OpCounter>(x: [u16; 4], keys: &[u16; SUBKEYS], ops: &mut C) -> [u16; 4] {
+    ops.call(1);
+    let [mut x1, mut x2, mut x3, mut x4] = x;
+    let mut z = keys.iter();
+    let mut next = |ops: &mut C| -> u16 {
+        ops.load(1);
+        *z.next().expect("52 subkeys")
+    };
+    for _ in 0..ROUNDS {
+        ops.branch(1);
+        x1 = mul(x1, next(ops), ops);
+        x2 = add(x2, next(ops), ops);
+        x3 = add(x3, next(ops), ops);
+        x4 = mul(x4, next(ops), ops);
+        let mut t2 = x1 ^ x3;
+        ops.alu(1);
+        t2 = mul(t2, next(ops), ops);
+        let mut t1 = add(t2, x2 ^ x4, ops);
+        ops.alu(1);
+        t1 = mul(t1, next(ops), ops);
+        t2 = add(t1, t2, ops);
+        x1 ^= t1;
+        x4 ^= t2;
+        t2 ^= x2;
+        x2 = x3 ^ t1;
+        x3 = t2;
+        ops.alu(4);
+    }
+    let y1 = mul(x1, next(ops), ops);
+    let y2 = add(x3, next(ops), ops); // x2/x3 swap undone
+    let y3 = add(x2, next(ops), ops);
+    let y4 = mul(x4, next(ops), ops);
+    ops.store(4);
+    [y1, y2, y3, y4]
+}
+
+fn block_from_bytes(b: &[u8]) -> [u16; 4] {
+    [
+        u16::from_be_bytes([b[0], b[1]]),
+        u16::from_be_bytes([b[2], b[3]]),
+        u16::from_be_bytes([b[4], b[5]]),
+        u16::from_be_bytes([b[6], b[7]]),
+    ]
+}
+
+fn block_to_bytes(x: [u16; 4], out: &mut [u8]) {
+    for (i, w) in x.iter().enumerate() {
+        out[2 * i..2 * i + 2].copy_from_slice(&w.to_be_bytes());
+    }
+}
+
+/// Encrypts `data` in ECB mode with the expanded `keys`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of [`BLOCK_BYTES`].
+pub fn crypt_buffer<C: OpCounter>(data: &[u8], keys: &[u16; SUBKEYS], ops: &mut C) -> Vec<u8> {
+    assert!(
+        data.len().is_multiple_of(BLOCK_BYTES),
+        "IDEA operates on whole 8-byte blocks"
+    );
+    let mut out = vec![0u8; data.len()];
+    for (chunk, dst) in data
+        .chunks_exact(BLOCK_BYTES)
+        .zip(out.chunks_exact_mut(BLOCK_BYTES))
+    {
+        ops.load(4);
+        let y = crypt_block(block_from_bytes(chunk), keys, ops);
+        block_to_bytes(y, dst);
+    }
+    out
+}
+
+/// Packs a big-endian IDEA byte stream into the coprocessor's element
+/// buffer: 16-bit words stored little-endian, as the dual-port RAM's
+/// halfword port presents them (the application-side half of the
+/// software/hardware designer agreement).
+pub fn pack_words(data: &[u8]) -> Vec<u8> {
+    assert!(
+        data.len().is_multiple_of(2),
+        "IDEA data is a whole number of 16-bit words"
+    );
+    data.chunks_exact(2)
+        .flat_map(|c| u16::from_be_bytes([c[0], c[1]]).to_le_bytes())
+        .collect()
+}
+
+/// Inverse of [`pack_words`]: recovers the big-endian byte stream from a
+/// coprocessor element buffer.
+pub fn unpack_words(buf: &[u8]) -> Vec<u8> {
+    assert!(
+        buf.len().is_multiple_of(2),
+        "element buffer is a whole number of 16-bit words"
+    );
+    buf.chunks_exact(2)
+        .flat_map(|c| u16::from_le_bytes([c[0], c[1]]).to_be_bytes())
+        .collect()
+}
+
+/// Deterministic pseudo-random plaintext generator for benchmarks.
+pub fn synthetic_plaintext(len: usize) -> Vec<u8> {
+    assert!(
+        len.is_multiple_of(BLOCK_BYTES),
+        "length must be whole blocks"
+    );
+    let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 48) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: IdeaKey = IdeaKey([1, 2, 3, 4, 5, 6, 7, 8]);
+
+    #[test]
+    fn classic_test_vector() {
+        // Lai/Massey reference vector: key 0001..0008,
+        // plaintext 0000 0001 0002 0003 → ciphertext 11FB ED2B 0198 6DE5.
+        let ek = expand_key(KEY);
+        let ct = crypt_block([0, 1, 2, 3], &ek, &mut ());
+        assert_eq!(ct, [0x11FB, 0xED2B, 0x0198, 0x6DE5]);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let ek = expand_key(KEY);
+        let dk = invert_subkeys(&ek);
+        let pt = [0x1234, 0x5678, 0x9ABC, 0xDEF0];
+        let ct = crypt_block(pt, &ek, &mut ());
+        assert_ne!(ct, pt);
+        assert_eq!(crypt_block(ct, &dk, &mut ()), pt);
+    }
+
+    #[test]
+    fn subkey_expansion_first_and_rotated_words() {
+        let ek = expand_key(KEY);
+        assert_eq!(&ek[0..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // After a 25-bit left rotation of 0x00010002000300040005000600070008:
+        // the first following subkey is 0x0400.
+        assert_eq!(ek[8], 0x0400);
+        assert_eq!(ek[9], 0x0600);
+    }
+
+    #[test]
+    fn mul_conventions() {
+        assert_eq!(mul(0, 0, &mut ()), 1); // 2^16 · 2^16 ≡ 1
+        assert_eq!(mul(1, 1, &mut ()), 1);
+        assert_eq!(mul(0, 1, &mut ()), 0); // 2^16 · 1 ≡ 2^16 ≡ "0"
+        assert_eq!(mul(2, 3, &mut ()), 6);
+        assert_eq!(mul(65535, 65535, &mut ()), 4); // (−2)² = 4 mod 65537
+    }
+
+    #[test]
+    fn mul_inv_is_inverse_everywhere_interesting() {
+        for a in [0u16, 1, 2, 3, 255, 256, 32767, 32768, 65534, 65535] {
+            let inv = mul_inv(a);
+            assert_eq!(mul(a, inv, &mut ()), 1, "a={a}, inv={inv}");
+        }
+    }
+
+    #[test]
+    fn add_inv_is_inverse() {
+        for a in [0u16, 1, 17, 32768, 65535] {
+            assert_eq!(add(a, add_inv(a), &mut ()), 0);
+        }
+    }
+
+    #[test]
+    fn buffer_roundtrip() {
+        let ek = expand_key(KEY);
+        let dk = invert_subkeys(&ek);
+        let pt = synthetic_plaintext(4096);
+        let ct = crypt_buffer(&pt, &ek, &mut ());
+        assert_ne!(ct, pt);
+        assert_eq!(crypt_buffer(&ct, &dk, &mut ()), pt);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 8-byte blocks")]
+    fn partial_block_rejected() {
+        let ek = expand_key(KEY);
+        let _ = crypt_buffer(&[0u8; 7], &ek, &mut ());
+    }
+
+    #[test]
+    fn key_from_bytes_is_big_endian() {
+        let mut bytes = [0u8; 16];
+        bytes[0] = 0x12;
+        bytes[1] = 0x34;
+        bytes[15] = 0x56;
+        let k = IdeaKey::from_bytes(&bytes);
+        assert_eq!(k.0[0], 0x1234);
+        assert_eq!(k.0[7], 0x0056);
+    }
+
+    #[test]
+    fn instrumentation_charges_per_block() {
+        use vcop_sim::cpu::{CostTable, CycleCounter};
+        let ek = expand_key(KEY);
+        let mut one = CycleCounter::new(CostTable::arm922());
+        crypt_buffer(&[0u8; 8], &ek, &mut one);
+        let mut ten = CycleCounter::new(CostTable::arm922());
+        crypt_buffer(&[0u8; 80], &ek, &mut ten);
+        assert_eq!(ten.cycles(), one.cycles() * 10);
+        assert!(one.cycles() > 300, "a block costs hundreds of cycles");
+    }
+
+    #[test]
+    fn ciphertext_differs_per_block_content() {
+        let ek = expand_key(KEY);
+        let a = crypt_block([0, 0, 0, 0], &ek, &mut ());
+        let b = crypt_block([0, 0, 0, 1], &ek, &mut ());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,7 @@
+//! The IDEA workload: reference cipher and the hardware core.
+
+pub mod cipher;
+pub mod hw;
+
+pub use cipher::{crypt_buffer, expand_key, invert_subkeys, IdeaKey};
+pub use hw::IdeaCoprocessor;

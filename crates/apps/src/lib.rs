@@ -1,0 +1,36 @@
+//! # vcop-apps — the paper's evaluation workloads
+//!
+//! The two applications of Section 4 plus the motivating example of
+//! Section 2, each in two forms:
+//!
+//! * an **instrumented software reference** (the "pure SW" baseline,
+//!   charged in ARM cycles through [`counter::OpCounter`] and calibrated
+//!   in [`timing`]), and
+//! * a **portable hardware coprocessor** implementing the
+//!   [`vcop_fabric::port::Coprocessor`] FSM protocol — object ids and
+//!   element indices only, never a physical address.
+//!
+//! | workload | module | paper role |
+//! |---|---|---|
+//! | IMA-ADPCM decode | [`adpcm`] | Fig. 8 multimedia kernel (40 MHz core) |
+//! | IDEA cipher | [`idea`] | Fig. 9 cryptographic kernel (6 MHz, 3-stage) |
+//! | vector add | [`vecadd`] | Figs. 3/5/6 motivating example |
+//! | matrix multiply | [`matmul`] | extension workload with strided accesses (stresses §3.3 policies) |
+//! | trace replay | [`replay`] | recorded access traces through the virtual interface |
+//!
+//! Hardware and software versions are bit-identical on every input —
+//! the test suites of each module assert it — so end-to-end experiments
+//! verify data correctness, not just timing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adpcm;
+pub mod counter;
+pub mod idea;
+pub mod matmul;
+pub mod replay;
+pub mod timing;
+pub mod vecadd;
+
+pub use counter::OpCounter;

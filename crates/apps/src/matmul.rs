@@ -1,0 +1,352 @@
+//! Dense matrix multiplication: an *extension* workload (not in the
+//! paper's evaluation) whose column-strided accesses to the second
+//! operand exercise the interface pager far harder than the sequential
+//! evaluation kernels — the workload where replacement-policy and
+//! prefetch choices (Section 3.3) actually separate.
+//!
+//! Protocol:
+//!
+//! * object `0` (`IN`, 32-bit elements): `A`, row-major `n × n`;
+//! * object `1` (`IN`, 32-bit elements): `B`, row-major `n × n`
+//!   (accessed column-wise by the core);
+//! * object `2` (`OUT`, 32-bit elements): `C`, row-major `n × n`;
+//! * parameter word `0`: `n`.
+//!
+//! Arithmetic is wrapping `u32`, so hardware and software agree exactly.
+
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+
+use crate::counter::OpCounter;
+
+/// Object id of operand `A`.
+pub const OBJ_A: ObjectId = ObjectId(0);
+/// Object id of operand `B`.
+pub const OBJ_B: ObjectId = ObjectId(1);
+/// Object id of the product `C`.
+pub const OBJ_C: ObjectId = ObjectId(2);
+
+/// Software reference: `C = A · B` (row-major, wrapping arithmetic),
+/// instrumented.
+///
+/// # Panics
+///
+/// Panics if the slices are not `n × n`.
+pub fn multiply<C: OpCounter>(a: &[u32], b: &[u32], n: usize, ops: &mut C) -> Vec<u32> {
+    assert_eq!(a.len(), n * n, "A must be n×n");
+    assert_eq!(b.len(), n * n, "B must be n×n");
+    ops.call(1);
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                ops.load(2);
+                ops.mul(1);
+                ops.alu(1);
+                ops.branch(1);
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            ops.store(1);
+            ops.branch(1);
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Deterministic test matrix.
+pub fn synthetic_matrix(n: usize, seed: u32) -> Vec<u32> {
+    (0..n * n)
+        .map(|i| {
+            (i as u32)
+                .wrapping_mul(2_654_435_761)
+                .rotate_left(seed % 31)
+                ^ seed
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    WaitStart,
+    FetchParam,
+    AwaitParam,
+    ReadA,
+    AwaitA,
+    ReadB,
+    AwaitB,
+    Mac { remaining: u32 },
+    WriteC,
+    AwaitC,
+    Finished,
+}
+
+/// The matrix-multiply core: a straightforward inner-product FSM with a
+/// configurable multiply-accumulate latency.
+#[derive(Debug)]
+pub struct MatMulCoprocessor {
+    state: State,
+    mac_cycles: u32,
+    n: u32,
+    i: u32,
+    j: u32,
+    k: u32,
+    reg_a: u32,
+    acc: u32,
+    cycles: u64,
+}
+
+/// Default multiply-accumulate latency (one pipelined 32-bit multiplier
+/// stage plus the accumulate).
+pub const DEFAULT_MAC_CYCLES: u32 = 2;
+
+impl MatMulCoprocessor {
+    /// Creates the core with the default MAC latency.
+    pub fn new() -> Self {
+        MatMulCoprocessor::with_mac_cycles(DEFAULT_MAC_CYCLES)
+    }
+
+    /// Creates the core with a custom MAC latency.
+    pub fn with_mac_cycles(mac_cycles: u32) -> Self {
+        MatMulCoprocessor {
+            state: State::WaitStart,
+            mac_cycles: mac_cycles.max(1),
+            n: 0,
+            i: 0,
+            j: 0,
+            k: 0,
+            reg_a: 0,
+            acc: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Clock edges consumed since reset (diagnostic).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl Default for MatMulCoprocessor {
+    fn default() -> Self {
+        MatMulCoprocessor::new()
+    }
+}
+
+impl Coprocessor for MatMulCoprocessor {
+    fn name(&self) -> &str {
+        "matmul"
+    }
+
+    fn reset(&mut self) {
+        *self = MatMulCoprocessor::with_mac_cycles(self.mac_cycles);
+    }
+
+    fn step(&mut self, port: &mut CoprocessorPort) {
+        self.cycles += 1;
+        match self.state {
+            State::WaitStart => {
+                if port.started() {
+                    self.state = State::FetchParam;
+                }
+            }
+            State::FetchParam => {
+                if port.can_issue() {
+                    port.issue_read(ObjectId::PARAM, 0);
+                    self.state = State::AwaitParam;
+                }
+            }
+            State::AwaitParam => {
+                if let Some(done) = port.take_completed() {
+                    self.n = done.data;
+                    port.param_done();
+                    self.state = if self.n == 0 {
+                        port.finish();
+                        State::Finished
+                    } else {
+                        State::ReadA
+                    };
+                }
+            }
+            State::ReadA => {
+                if port.can_issue() {
+                    port.issue_read(OBJ_A, self.i * self.n + self.k);
+                    self.state = State::AwaitA;
+                }
+            }
+            State::AwaitA => {
+                if let Some(done) = port.take_completed() {
+                    self.reg_a = done.data;
+                    self.state = State::ReadB;
+                }
+            }
+            State::ReadB => {
+                if port.can_issue() {
+                    // Column-wise stride through B.
+                    port.issue_read(OBJ_B, self.k * self.n + self.j);
+                    self.state = State::AwaitB;
+                }
+            }
+            State::AwaitB => {
+                if let Some(done) = port.take_completed() {
+                    self.acc = self.acc.wrapping_add(self.reg_a.wrapping_mul(done.data));
+                    self.state = State::Mac {
+                        remaining: self.mac_cycles,
+                    };
+                }
+            }
+            State::Mac { remaining } => {
+                if remaining > 1 {
+                    self.state = State::Mac {
+                        remaining: remaining - 1,
+                    };
+                } else {
+                    self.k += 1;
+                    self.state = if self.k == self.n {
+                        State::WriteC
+                    } else {
+                        State::ReadA
+                    };
+                }
+            }
+            State::WriteC => {
+                if port.can_issue() {
+                    port.issue_write(OBJ_C, self.i * self.n + self.j, self.acc);
+                    self.state = State::AwaitC;
+                }
+            }
+            State::AwaitC => {
+                if port.take_completed().is_some() {
+                    self.acc = 0;
+                    self.k = 0;
+                    self.j += 1;
+                    if self.j == self.n {
+                        self.j = 0;
+                        self.i += 1;
+                    }
+                    self.state = if self.i == self.n {
+                        port.finish();
+                        State::Finished
+                    } else {
+                        State::ReadA
+                    };
+                }
+            }
+            State::Finished => {}
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.state == State::Finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcop_fabric::port::{AccessKind, PortLink};
+
+    fn run_ideal(a: &[u32], b: &[u32], n: usize) -> Vec<u32> {
+        let mut cp = MatMulCoprocessor::new();
+        let mut port = CoprocessorPort::new(1);
+        PortLink::new(&mut port).set_start(true);
+        let mut c = vec![0u32; n * n];
+        for _ in 0..(n as u64 + 1).pow(3) * 16 + 64 {
+            cp.step(&mut port);
+            let mut link = PortLink::new(&mut port);
+            if let Some(req) = link.pending_request().copied() {
+                let data = match (req.obj, req.kind) {
+                    (ObjectId::PARAM, AccessKind::Read) => n as u32,
+                    (OBJ_A, AccessKind::Read) => a[req.index as usize],
+                    (OBJ_B, AccessKind::Read) => b[req.index as usize],
+                    (OBJ_C, AccessKind::Write) => {
+                        c[req.index as usize] = req.data;
+                        req.data
+                    }
+                    other => panic!("unexpected access {other:?}"),
+                };
+                link.complete(data);
+            }
+            if link.take_fin() {
+                return c;
+            }
+        }
+        panic!("matmul core did not finish");
+    }
+
+    #[test]
+    fn software_identity() {
+        let n = 4;
+        let mut ident = vec![0u32; n * n];
+        for i in 0..n {
+            ident[i * n + i] = 1;
+        }
+        let a = synthetic_matrix(n, 3);
+        assert_eq!(multiply(&a, &ident, n, &mut ()), a);
+        assert_eq!(multiply(&ident, &a, n, &mut ()), a);
+    }
+
+    #[test]
+    fn software_known_product() {
+        // [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50]
+        let c = multiply(&[1, 2, 3, 4], &[5, 6, 7, 8], 2, &mut ());
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn hw_matches_software() {
+        let n = 8;
+        let a = synthetic_matrix(n, 1);
+        let b = synthetic_matrix(n, 2);
+        assert_eq!(run_ideal(&a, &b, n), multiply(&a, &b, n, &mut ()));
+    }
+
+    #[test]
+    fn wrapping_arithmetic_agrees() {
+        let n = 3;
+        let big = vec![u32::MAX; n * n];
+        assert_eq!(run_ideal(&big, &big, n), multiply(&big, &big, n, &mut ()));
+    }
+
+    #[test]
+    fn zero_n_finishes() {
+        let c = run_ideal(&[], &[], 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be n×n")]
+    fn dimension_check() {
+        let _ = multiply(&[1, 2], &[1, 2, 3, 4], 2, &mut ());
+    }
+
+    #[test]
+    fn mac_latency_scales() {
+        let n = 4;
+        let a = synthetic_matrix(n, 1);
+        let b = synthetic_matrix(n, 2);
+        let cycles = |mac: u32| {
+            let mut cp = MatMulCoprocessor::with_mac_cycles(mac);
+            let mut port = CoprocessorPort::new(1);
+            PortLink::new(&mut port).set_start(true);
+            for _ in 0..100_000 {
+                cp.step(&mut port);
+                let mut link = PortLink::new(&mut port);
+                if let Some(req) = link.pending_request().copied() {
+                    let data = match req.obj {
+                        ObjectId::PARAM => n as u32,
+                        OBJ_A => a[req.index as usize],
+                        OBJ_B => b[req.index as usize],
+                        _ => req.data,
+                    };
+                    link.complete(data);
+                }
+                if link.take_fin() {
+                    return cp.cycles();
+                }
+            }
+            panic!("no finish");
+        };
+        assert!(cycles(8) > cycles(1) + (n * n * n) as u64 * 6);
+    }
+}

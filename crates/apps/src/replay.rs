@@ -1,0 +1,446 @@
+//! Trace-replay coprocessor.
+//!
+//! Research on interface-memory allocation (the paper's Section 5 cites
+//! the access-pattern-generation literature) usually evaluates against
+//! recorded *access traces* rather than live kernels. This module makes
+//! the workspace usable that way: a tiny text format for access traces,
+//! a flat-memory reference executor, and a coprocessor FSM that replays
+//! a trace through the virtual interface — so any recorded pattern can
+//! be pushed through the IMU/VIM stack and compared against the
+//! reference.
+//!
+//! ## Trace format
+//!
+//! One operation per line; `#` starts a comment:
+//!
+//! ```text
+//! # obj index [value]
+//! R 0 123
+//! W 1 45 0xDEAD
+//! W 1 46 7
+//! ```
+//!
+//! Objects are 32-bit-element buffers; indices are element indices.
+
+use core::fmt;
+
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+
+/// One replayed access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Read element `index` of object `obj`.
+    Read {
+        /// Object id.
+        obj: u8,
+        /// Element index.
+        index: u32,
+    },
+    /// Write `value` to element `index` of object `obj`.
+    Write {
+        /// Object id.
+        obj: u8,
+        /// Element index.
+        index: u32,
+        /// Value written.
+        value: u32,
+    },
+}
+
+/// Errors from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_u32(tok: &str) -> Option<u32> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+/// Parses the text trace format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] with the offending line number for any
+/// malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceOp>, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut toks = content.split_whitespace();
+        let kind = toks.next().expect("nonempty line has a token");
+        let err = |message: &str| ParseTraceError {
+            line,
+            message: message.to_owned(),
+        };
+        let obj = toks
+            .next()
+            .and_then(parse_u32)
+            .ok_or_else(|| err("missing or bad object id"))?;
+        if obj > 0xFE {
+            return Err(err("object id out of range (0-254)"));
+        }
+        let index = toks
+            .next()
+            .and_then(parse_u32)
+            .ok_or_else(|| err("missing or bad index"))?;
+        match kind {
+            "R" | "r" => {
+                if toks.next().is_some() {
+                    return Err(err("trailing tokens after read"));
+                }
+                ops.push(TraceOp::Read {
+                    obj: obj as u8,
+                    index,
+                });
+            }
+            "W" | "w" => {
+                let value = toks
+                    .next()
+                    .and_then(parse_u32)
+                    .ok_or_else(|| err("missing or bad value"))?;
+                if toks.next().is_some() {
+                    return Err(err("trailing tokens after write"));
+                }
+                ops.push(TraceOp::Write {
+                    obj: obj as u8,
+                    index,
+                    value,
+                });
+            }
+            other => return Err(err(&format!("unknown op '{other}'"))),
+        }
+    }
+    Ok(ops)
+}
+
+/// Renders operations back into the text format.
+pub fn format_trace(ops: &[TraceOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            TraceOp::Read { obj, index } => out.push_str(&format!("R {obj} {index}\n")),
+            TraceOp::Write { obj, index, value } => {
+                out.push_str(&format!("W {obj} {index} {value:#x}\n"))
+            }
+        }
+    }
+    out
+}
+
+/// Executes a trace against flat buffers (32-bit little-endian
+/// elements), returning an order-sensitive checksum of everything read.
+///
+/// # Panics
+///
+/// Panics if an operation addresses outside its buffer — validate traces
+/// against the intended object sizes first.
+pub fn replay_model(buffers: &mut [Vec<u8>], ops: &[TraceOp]) -> u32 {
+    let mut checksum = 0u32;
+    for op in ops {
+        match *op {
+            TraceOp::Read { obj, index } => {
+                let at = index as usize * 4;
+                let v = u32::from_le_bytes(
+                    buffers[obj as usize][at..at + 4]
+                        .try_into()
+                        .expect("4 bytes"),
+                );
+                checksum = checksum.rotate_left(1).wrapping_add(v);
+            }
+            TraceOp::Write { obj, index, value } => {
+                let at = index as usize * 4;
+                buffers[obj as usize][at..at + 4].copy_from_slice(&value.to_le_bytes());
+            }
+        }
+    }
+    checksum
+}
+
+/// Generates a deterministic pseudo-random trace over objects of the
+/// given element counts (roughly half reads, half writes).
+pub fn synthetic_trace(seed: u64, ops: usize, sizes: &[u32]) -> Vec<TraceOp> {
+    assert!(!sizes.is_empty(), "need at least one object");
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..ops)
+        .map(|_| {
+            let r = next();
+            let obj = (r as usize) % sizes.len();
+            let index = ((r >> 16) as u32) % sizes[obj];
+            if r & 1 == 0 {
+                TraceOp::Read {
+                    obj: obj as u8,
+                    index,
+                }
+            } else {
+                TraceOp::Write {
+                    obj: obj as u8,
+                    index,
+                    value: (r >> 24) as u32,
+                }
+            }
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    WaitStart,
+    FetchParam,
+    AwaitParam,
+    Issue,
+    Await,
+    Finished,
+}
+
+/// Replays a trace through the virtual interface.
+///
+/// The accumulated read checksum is exposed via
+/// [`ReplayCoprocessor::checksum`] after completion, matching
+/// [`replay_model`]'s return value when the final buffers match too.
+#[derive(Debug)]
+pub struct ReplayCoprocessor {
+    ops: Vec<TraceOp>,
+    pos: usize,
+    checksum: u32,
+    state: State,
+}
+
+impl ReplayCoprocessor {
+    /// Creates a core that replays `ops` in order.
+    pub fn new(ops: Vec<TraceOp>) -> Self {
+        ReplayCoprocessor {
+            ops,
+            pos: 0,
+            checksum: 0,
+            state: State::WaitStart,
+        }
+    }
+
+    /// The read checksum accumulated so far.
+    pub fn checksum(&self) -> u32 {
+        self.checksum
+    }
+}
+
+impl Coprocessor for ReplayCoprocessor {
+    fn name(&self) -> &str {
+        "replay"
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+        self.checksum = 0;
+        self.state = State::WaitStart;
+    }
+
+    fn step(&mut self, port: &mut CoprocessorPort) {
+        match self.state {
+            State::WaitStart => {
+                if port.started() {
+                    self.state = State::FetchParam;
+                }
+            }
+            State::FetchParam => {
+                if port.can_issue() {
+                    port.issue_read(ObjectId::PARAM, 0);
+                    self.state = State::AwaitParam;
+                }
+            }
+            State::AwaitParam => {
+                if port.take_completed().is_some() {
+                    port.param_done();
+                    self.state = State::Issue;
+                }
+            }
+            State::Issue => {
+                if self.pos == self.ops.len() {
+                    port.finish();
+                    self.state = State::Finished;
+                    return;
+                }
+                if port.can_issue() {
+                    match self.ops[self.pos] {
+                        TraceOp::Read { obj, index } => port.issue_read(ObjectId(obj), index),
+                        TraceOp::Write { obj, index, value } => {
+                            port.issue_write(ObjectId(obj), index, value)
+                        }
+                    }
+                    self.state = State::Await;
+                }
+            }
+            State::Await => {
+                if let Some(done) = port.take_completed() {
+                    if matches!(self.ops[self.pos], TraceOp::Read { .. }) {
+                        self.checksum = self.checksum.rotate_left(1).wrapping_add(done.data);
+                    }
+                    self.pos += 1;
+                    self.state = State::Issue;
+                }
+            }
+            State::Finished => {}
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.state == State::Finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcop_fabric::port::{AccessKind, PortLink};
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\nR 0 10\nW 1 5 0xBEEF\n\nW 0 0 7 # inline\n";
+        let ops = parse_trace(text).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                TraceOp::Read { obj: 0, index: 10 },
+                TraceOp::Write {
+                    obj: 1,
+                    index: 5,
+                    value: 0xBEEF
+                },
+                TraceOp::Write {
+                    obj: 0,
+                    index: 0,
+                    value: 7
+                },
+            ]
+        );
+        let reparsed = parse_trace(&format_trace(&ops)).unwrap();
+        assert_eq!(reparsed, ops);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("R 0", 1, "index"),
+            ("X 0 1", 1, "unknown op"),
+            ("R 0 1\nW 0 1", 2, "value"),
+            ("R 255 1", 1, "out of range"),
+            ("R 0 1 junk", 1, "trailing"),
+            ("W 0 1 2 junk", 1, "trailing"),
+            ("R zz 1", 1, "object id"),
+        ] {
+            let err = parse_trace(text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}");
+            assert!(err.to_string().contains(needle), "{err} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn model_checksum_and_writes() {
+        let mut bufs = vec![vec![0u8; 16], vec![0u8; 16]];
+        bufs[0][0..4].copy_from_slice(&5u32.to_le_bytes());
+        let ops = parse_trace("R 0 0\nW 1 2 9\nR 1 2\n").unwrap();
+        let sum = replay_model(&mut bufs, &ops);
+        assert_eq!(sum, 5u32.rotate_left(1).wrapping_add(9));
+        assert_eq!(&bufs[1][8..12], &9u32.to_le_bytes());
+    }
+
+    #[test]
+    fn coprocessor_matches_model_on_ideal_interface() {
+        let sizes = [64u32, 48];
+        let ops = synthetic_trace(42, 300, &sizes);
+        let mut model_bufs: Vec<Vec<u8>> = sizes
+            .iter()
+            .map(|&n| (0..n).flat_map(|i| (i * 3).to_le_bytes()).collect())
+            .collect();
+        let mut hw_bufs = model_bufs.clone();
+        let expect = replay_model(&mut model_bufs, &ops);
+
+        let mut cp = ReplayCoprocessor::new(ops);
+        let mut port = CoprocessorPort::new(1);
+        PortLink::new(&mut port).set_start(true);
+        for _ in 0..100_000 {
+            cp.step(&mut port);
+            let mut link = PortLink::new(&mut port);
+            if let Some(req) = link.pending_request().copied() {
+                let data = if req.obj == ObjectId::PARAM {
+                    0
+                } else {
+                    let buf = &mut hw_bufs[req.obj.0 as usize];
+                    let at = req.index as usize * 4;
+                    match req.kind {
+                        AccessKind::Read => u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()),
+                        AccessKind::Write => {
+                            buf[at..at + 4].copy_from_slice(&req.data.to_le_bytes());
+                            req.data
+                        }
+                    }
+                };
+                link.complete(data);
+            }
+            if link.take_fin() {
+                break;
+            }
+        }
+        assert!(cp.is_finished());
+        assert_eq!(cp.checksum(), expect);
+        assert_eq!(hw_bufs, model_bufs);
+    }
+
+    #[test]
+    fn synthetic_trace_is_deterministic_and_in_bounds() {
+        let a = synthetic_trace(7, 100, &[10, 20]);
+        let b = synthetic_trace(7, 100, &[10, 20]);
+        assert_eq!(a, b);
+        for op in &a {
+            match *op {
+                TraceOp::Read { obj, index } | TraceOp::Write { obj, index, .. } => {
+                    assert!(obj < 2);
+                    assert!(index < [10, 20][obj as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let mut cp = ReplayCoprocessor::new(vec![]);
+        let mut port = CoprocessorPort::new(1);
+        PortLink::new(&mut port).set_start(true);
+        for _ in 0..16 {
+            cp.step(&mut port);
+            let mut link = PortLink::new(&mut port);
+            if link.pending_request().is_some() {
+                link.complete(0);
+            }
+            if link.take_fin() {
+                break;
+            }
+        }
+        assert!(cp.is_finished());
+        assert_eq!(cp.checksum(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench over the ablation configurations (pipelined IMU,
+//! transfer strategies, replacement policies, device scaling), all on
+//! the IDEA 8 KB point so configurations are directly comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vcop::{PolicyKind, PrefetchMode, TransferMode};
+use vcop_bench::experiments::{idea_vim, ExperimentOptions};
+use vcop_fabric::DeviceProfile;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations_idea_8kb");
+    group.sample_size(10);
+
+    let configs: Vec<(String, ExperimentOptions)> = vec![
+        ("prototype".into(), ExperimentOptions::default()),
+        (
+            "pipelined_imu".into(),
+            ExperimentOptions {
+                pipeline_depth: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            "single_transfer".into(),
+            ExperimentOptions {
+                transfer: TransferMode::Single,
+                ..Default::default()
+            },
+        ),
+        ("improved_vim".into(), ExperimentOptions::improved()),
+        (
+            "lru_prefetch".into(),
+            ExperimentOptions {
+                policy: PolicyKind::Lru,
+                prefetch: PrefetchMode::NextPage { degree: 1 },
+                ..Default::default()
+            },
+        ),
+        (
+            "epxa10".into(),
+            ExperimentOptions {
+                device: DeviceProfile::epxa10(),
+                ..Default::default()
+            },
+        ),
+    ];
+
+    for (name, opts) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &opts, |b, opts| {
+            b.iter(|| black_box(idea_vim(8, opts).report.total()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Fig. 7 artefact: a full traced execution of
+//! the motivating kernel, including waveform capture and rendering.
+//! Guards the per-access simulation cost of the IMU datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vcop_bench::experiments::fig7_waveform;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("traced_read_access_waveform", |b| {
+        b.iter(|| {
+            let (ascii, vcd) = fig7_waveform();
+            black_box((ascii.len(), vcd.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Fig. 9 experiment: the IDEA workload through
+//! the full platform (VIM-based) and on the manually managed interface
+//! (normal coprocessor) at each published input size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use vcop_bench::experiments::{idea_typical, idea_vim, ExperimentOptions};
+
+fn bench_fig9(c: &mut Criterion) {
+    let opts = ExperimentOptions::default();
+    let mut group = c.benchmark_group("fig9_idea");
+    group.sample_size(10);
+    for kb in [4usize, 8, 16, 32] {
+        group.throughput(Throughput::Bytes((kb * 1024) as u64));
+        group.bench_with_input(BenchmarkId::new("vim", format!("{kb}KB")), &kb, |b, &kb| {
+            b.iter(|| black_box(idea_vim(kb, &opts).report.total()))
+        });
+    }
+    for kb in [4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("typical", format!("{kb}KB")),
+            &kb,
+            |b, &kb| b.iter(|| black_box(idea_typical(kb).expect("fits").total())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates Figure 8: adpcmdecode execution time, pure software vs
+//! the VIM-based coprocessor (HW + SW(DP) + SW(IMU)), for 2/4/8 KB
+//! inputs.
+
+use vcop_bench::experiments::{adpcm_vim, ExperimentOptions};
+use vcop_bench::table::{ms, speedup, BarChart, Table};
+
+fn main() {
+    let opts = ExperimentOptions::default();
+    let mut table = Table::new(vec![
+        "input",
+        "SW",
+        "HW",
+        "SW (DP)",
+        "SW (IMU)",
+        "VIM total",
+        "speedup",
+        "faults",
+    ]);
+    println!("Figure 8 — adpcmdecode (coprocessor + IMU @ 40 MHz, ARM @ 133 MHz)");
+    println!("paper: speedups 1.5x / 1.5x / 1.6x; SW(IMU) <= 2.5% of total\n");
+    let mut chart = BarChart::new(64);
+    for kb in [2usize, 4, 8] {
+        let run = adpcm_vim(kb, &opts);
+        let r = &run.report;
+        chart.bar(format!("{kb} KB SW"), vec![("pure SW", run.sw)]);
+        chart.bar(
+            format!("{kb} KB VIM"),
+            vec![("HW", r.hw), ("SW (DP)", r.sw_dp), ("SW (IMU)", r.sw_imu)],
+        );
+        table.row(vec![
+            format!("{kb} KB"),
+            ms(run.sw),
+            ms(r.hw),
+            ms(r.sw_dp),
+            ms(r.sw_imu),
+            ms(r.total()),
+            speedup(run.speedup()),
+            r.faults.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("{}", chart.render());
+}

@@ -1,0 +1,616 @@
+//! The reconfigurable-SoC platform harness.
+//!
+//! [`System`] assembles the full stack of the paper — dual-port RAM,
+//! IMU, VIM, configuration controller, interrupt line, and the two
+//! PLD-side clock domains — and exposes the three OS services of
+//! Section 3.1 (`FPGA_LOAD`, `FPGA_MAP_OBJECT`, `FPGA_EXECUTE`).
+//!
+//! `FPGA_EXECUTE` runs the event loop: coprocessor and IMU step on their
+//! respective clock edges (the IMU first on coincident edges, as on the
+//! prototype where the coprocessor clock is the IMU clock or an integer
+//! division of it); on a translation fault the coprocessor domain stalls
+//! while the VIM services the interrupt on the ARM, and the stall
+//! interval is charged to the paper's `SW (DP)` / `SW (IMU)` buckets.
+
+use vcop_fabric::loader::ConfigController;
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, PortLink};
+use vcop_fabric::DeviceProfile;
+use vcop_imu::imu::{ElemSize, Imu, ImuConfig, ImuEvent};
+use vcop_imu::registers::ControlRegister;
+use vcop_sim::bus::BurstKind;
+use vcop_sim::clock::{ClockDomain, EdgeScheduler};
+use vcop_sim::histogram::LatencyHistogram;
+use vcop_sim::irq::{InterruptController, IrqLine};
+use vcop_sim::mem::DualPortRam;
+use vcop_sim::time::{Frequency, SimTime};
+use vcop_sim::trace::{TraceSink, WaveTracer};
+use vcop_vim::cost::{OsCostModel, OsOverheads};
+use vcop_vim::manager::{PendingInstall, Vim, VimConfig};
+use vcop_vim::object::{Direction, MapHints};
+use vcop_vim::policy::PolicyKind;
+use vcop_vim::prefetch::PrefetchMode;
+use vcop_vim::process::{MiniScheduler, Pid};
+use vcop_vim::TransferMode;
+
+use crate::error::Error;
+use crate::report::ExecutionReport;
+
+/// Default per-execute edge budget (hang detection).
+pub const DEFAULT_EDGE_BUDGET: u64 = 2_000_000_000;
+
+/// Builder for a [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use vcop::SystemBuilder;
+/// use vcop_sim::time::Frequency;
+///
+/// let system = SystemBuilder::epxa1()
+///     .clocks(Frequency::from_mhz(40), Frequency::from_mhz(40))
+///     .build();
+/// assert_eq!(system.device().page_count(), 8);
+/// ```
+#[derive(Debug)]
+pub struct SystemBuilder {
+    device: DeviceProfile,
+    cp_freq: Frequency,
+    imu_freq: Frequency,
+    pipeline_depth: usize,
+    policy: PolicyKind,
+    prefetch: PrefetchMode,
+    transfer: TransferMode,
+    burst: BurstKind,
+    skip_out_page_load: bool,
+    preload: bool,
+    overlap_prefetch: bool,
+    sync_edges: Option<u32>,
+    os_overheads: OsOverheads,
+    trace: bool,
+    edge_budget: u64,
+}
+
+impl SystemBuilder {
+    /// Starts from a device profile with 40 MHz PLD clocks.
+    pub fn new(device: DeviceProfile) -> Self {
+        SystemBuilder {
+            device,
+            cp_freq: Frequency::from_mhz(40),
+            imu_freq: Frequency::from_mhz(40),
+            pipeline_depth: 1,
+            policy: PolicyKind::Fifo,
+            prefetch: PrefetchMode::None,
+            transfer: TransferMode::Double,
+            burst: BurstKind::Single,
+            skip_out_page_load: false,
+            preload: true,
+            overlap_prefetch: false,
+            sync_edges: None,
+            os_overheads: OsOverheads::paper_era(),
+            trace: false,
+            edge_budget: DEFAULT_EDGE_BUDGET,
+        }
+    }
+
+    /// The paper's board.
+    pub fn epxa1() -> Self {
+        SystemBuilder::new(DeviceProfile::epxa1())
+    }
+
+    /// Sets the coprocessor and IMU clock frequencies. The IMU clock
+    /// must be the coprocessor clock or an integer multiple of it, as on
+    /// the prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imu` is not an integer multiple of `cp`.
+    pub fn clocks(mut self, cp: Frequency, imu: Frequency) -> Self {
+        assert!(
+            imu.hz().is_multiple_of(cp.hz()),
+            "IMU clock {imu} must be an integer multiple of the coprocessor clock {cp}"
+        );
+        self.cp_freq = cp;
+        self.imu_freq = imu;
+        self
+    }
+
+    /// Uses the pipelined IMU variant with `depth` translations in
+    /// flight (`1` = the paper's prototype).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Selects the VIM replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Selects the VIM prefetch mode.
+    pub fn prefetch(mut self, prefetch: PrefetchMode) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Selects single- or double-transfer page copies.
+    pub fn transfer(mut self, transfer: TransferMode) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// Selects the AHB burst kind used by page copies.
+    pub fn burst(mut self, burst: BurstKind) -> Self {
+        self.burst = burst;
+        self
+    }
+
+    /// Skips the load copy for pages of pure-`OUT` objects.
+    pub fn skip_out_page_load(mut self, skip: bool) -> Self {
+        self.skip_out_page_load = skip;
+        self
+    }
+
+    /// Enables or disables the initial page mapping performed by
+    /// `FPGA_EXECUTE` (enabled on the prototype).
+    pub fn preload(mut self, preload: bool) -> Self {
+        self.preload = preload;
+        self
+    }
+
+    /// Performs prefetch copies asynchronously, overlapping processor
+    /// and coprocessor execution (the paper's announced future work).
+    /// Only effective together with a [`PrefetchMode`] other than
+    /// `None`.
+    pub fn overlap_prefetch(mut self, overlap: bool) -> Self {
+        self.overlap_prefetch = overlap;
+        self
+    }
+
+    /// Overrides the clock-domain-crossing synchroniser depth. By
+    /// default a two-flop synchroniser (2 IMU edges) is inserted when
+    /// the coprocessor runs slower than the IMU, and none when they
+    /// share a clock.
+    pub fn sync_edges(mut self, edges: u32) -> Self {
+        self.sync_edges = Some(edges);
+        self
+    }
+
+    /// Overrides the fixed OS overhead constants (sensitivity
+    /// analysis).
+    pub fn os_overheads(mut self, overheads: OsOverheads) -> Self {
+        self.os_overheads = overheads;
+        self
+    }
+
+    /// Records the Fig. 7 signal set during execution.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Overrides the execution edge budget.
+    pub fn edge_budget(mut self, budget: u64) -> Self {
+        self.edge_budget = budget.max(1);
+        self
+    }
+
+    /// Assembles the system.
+    pub fn build(self) -> System {
+        let frames = self.device.page_count();
+        let page_bytes = self.device.page_bytes;
+        let base = if self.pipeline_depth > 1 {
+            ImuConfig::pipelined(frames, page_bytes, self.pipeline_depth)
+        } else {
+            ImuConfig::prototype(frames, page_bytes)
+        };
+        let sync = self.sync_edges.unwrap_or(if self.imu_freq == self.cp_freq {
+            0
+        } else {
+            2 // two-flop synchroniser into the faster IMU domain
+        });
+        let imu_config = base.with_sync_edges(sync);
+        let mut imu = Imu::new(imu_config);
+        let mut trace = if self.trace {
+            TraceSink::enabled()
+        } else {
+            TraceSink::disabled()
+        };
+        imu.attach_trace(&mut trace);
+
+        let cost = OsCostModel::epxa1()
+            .with_transfer(self.transfer)
+            .with_burst(self.burst)
+            .with_overheads(self.os_overheads);
+        let vim_config = VimConfig {
+            page_bytes,
+            frame_count: frames,
+            policy: self.policy,
+            prefetch: self.prefetch,
+            skip_out_page_load: self.skip_out_page_load,
+            preload: self.preload,
+            overlap_prefetch: self.overlap_prefetch,
+        };
+        let mut irq = InterruptController::new(1);
+        let pld_irq = irq.line(0).expect("one line");
+        irq.enable(pld_irq);
+
+        // The calling process plus one background process, so the CPU
+        // time freed by sleeping in FPGA_EXECUTE is observable.
+        let mut sched = MiniScheduler::new();
+        let caller = sched.spawn("fpga-app");
+        sched.spawn("background");
+
+        System {
+            cp_freq: self.cp_freq,
+            imu_freq: self.imu_freq,
+            dpram: DualPortRam::new(self.device.dpram_bytes, page_bytes)
+                .expect("device geometry is valid"),
+            imu,
+            port: CoprocessorPort::new(self.pipeline_depth),
+            vim: Vim::new(vim_config, cost),
+            config_ctl: ConfigController::new(self.device),
+            coprocessor: None,
+            irq,
+            pld_irq,
+            trace,
+            edge_budget: self.edge_budget,
+            device: self.device,
+            load_time: SimTime::ZERO,
+            sched,
+            caller,
+        }
+    }
+}
+
+/// The assembled platform.
+#[derive(Debug)]
+pub struct System {
+    device: DeviceProfile,
+    cp_freq: Frequency,
+    imu_freq: Frequency,
+    dpram: DualPortRam,
+    imu: Imu,
+    port: CoprocessorPort,
+    vim: Vim,
+    config_ctl: ConfigController,
+    coprocessor: Option<Box<dyn Coprocessor>>,
+    irq: InterruptController,
+    pld_irq: IrqLine,
+    trace: TraceSink,
+    edge_budget: u64,
+    load_time: SimTime,
+    sched: MiniScheduler,
+    caller: Pid,
+}
+
+impl System {
+    /// The device profile in use.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The coprocessor clock.
+    pub fn cp_freq(&self) -> Frequency {
+        self.cp_freq
+    }
+
+    /// The IMU clock.
+    pub fn imu_freq(&self) -> Frequency {
+        self.imu_freq
+    }
+
+    /// Read access to the IMU (registers, TLB, counters).
+    pub fn imu(&self) -> &Imu {
+        &self.imu
+    }
+
+    /// Read access to the VIM (counters, time buckets).
+    pub fn vim(&self) -> &Vim {
+        &self.vim
+    }
+
+    /// The interrupt controller (delivery statistics).
+    pub fn irq(&self) -> &InterruptController {
+        &self.irq
+    }
+
+    /// The waveform recorded so far, if tracing was enabled.
+    pub fn tracer(&self) -> Option<&WaveTracer> {
+        self.trace.tracer()
+    }
+
+    /// Configuration time of the last `FPGA_LOAD`.
+    pub fn load_time(&self) -> SimTime {
+        self.load_time
+    }
+
+    /// The process scheduler model: the caller's accumulated sleep time
+    /// and the CPU time made available to other processes while the
+    /// coprocessor ran (`FPGA_EXECUTE` sleeps rather than busy-waits,
+    /// Section 3.1).
+    pub fn scheduler(&self) -> &MiniScheduler {
+        &self.sched
+    }
+
+    /// Accumulated time the calling process has slept across executes.
+    pub fn caller_sleep_time(&self) -> SimTime {
+        self.sched.total_sleep(self.caller)
+    }
+
+    /// `FPGA_LOAD`: validates and programs `bitstream_bytes`, attaching
+    /// `core` as the synthesised coprocessor. Returns the configuration
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`vcop_fabric::loader::LoadError`] (bad container,
+    /// wrong device, resources, or an owner already present).
+    pub fn fpga_load(
+        &mut self,
+        bitstream_bytes: &[u8],
+        core: Box<dyn Coprocessor>,
+    ) -> Result<SimTime, Error> {
+        let loaded = self.config_ctl.load(bitstream_bytes)?;
+        self.coprocessor = Some(core);
+        self.load_time = loaded.load_time;
+        Ok(loaded.load_time)
+    }
+
+    /// Releases the fabric (ends exclusive use).
+    pub fn fpga_release(&mut self) {
+        self.config_ctl.release();
+        self.coprocessor = None;
+    }
+
+    /// `FPGA_MAP_OBJECT`: declares `data` as interface object `id`.
+    ///
+    /// # Errors
+    ///
+    /// See [`vcop_vim::VimError`] for the validation rules.
+    pub fn fpga_map_object(
+        &mut self,
+        id: ObjectId,
+        data: Vec<u8>,
+        elem: ElemSize,
+        direction: Direction,
+        hints: MapHints,
+    ) -> Result<(), Error> {
+        self.vim.map_object(id, data, elem, direction, hints)?;
+        Ok(())
+    }
+
+    /// Retrieves (and unmaps) the buffer of object `id` — how an
+    /// application reads results after `FPGA_EXECUTE`.
+    pub fn take_object(&mut self, id: ObjectId) -> Option<Vec<u8>> {
+        self.vim.take_object(id).map(|o| o.into_data())
+    }
+
+    /// Borrows the buffer of object `id` without unmapping.
+    pub fn object_data(&self, id: ObjectId) -> Option<&[u8]> {
+        self.vim.object(id).map(|o| o.data())
+    }
+
+    /// `FPGA_EXECUTE`: passes the scalar `params`, launches the
+    /// coprocessor, services faults until end of operation, writes dirty
+    /// data back, and returns the full time decomposition.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoCoprocessor`] if nothing was loaded;
+    /// * [`Error::Vim`] for coprocessor protocol violations (unmapped
+    ///   object, out-of-bounds access, parameter page misuse);
+    /// * [`Error::Timeout`] if the edge budget is exhausted.
+    pub fn fpga_execute(&mut self, params: &[u32]) -> Result<ExecutionReport, Error> {
+        if self.coprocessor.is_none() {
+            return Err(Error::NoCoprocessor);
+        }
+
+        // Snapshot accounting state.
+        let dp0 = self.vim.times().get("sw_dp");
+        let imu_t0 = self.vim.times().get("sw_imu");
+        let faults0 = self.vim.counters().get("fault");
+        let loads0 = self.vim.counters().get("page_load");
+        let wb0 = self.vim.counters().get("page_writeback");
+        let ev0 = self.vim.counters().get("eviction");
+        let pf0 = self.vim.counters().get("prefetch");
+        let hits0 = self.imu.tlb().hits();
+        let miss0 = self.imu.tlb().misses();
+        let imu_edges0 = self.imu.edges();
+
+        // Reset the datapath, then stage parameters and layouts.
+        {
+            let mut link = PortLink::new(&mut self.port);
+            self.imu.write_control(
+                ControlRegister {
+                    reset: true,
+                    irq_enable: true,
+                    ..Default::default()
+                },
+                &mut link,
+            );
+        }
+        let setup = self
+            .vim
+            .prepare_execute(&mut self.imu, &mut self.dpram, params)?;
+        let cp = self.coprocessor.as_mut().expect("checked above");
+        cp.reset();
+        {
+            let mut link = PortLink::new(&mut self.port);
+            self.imu.write_control(
+                ControlRegister {
+                    start: true,
+                    ..Default::default()
+                },
+                &mut link,
+            );
+        }
+
+        // Event loop over the two PLD clock domains. The IMU is
+        // registered first so it wins ties (completions become visible
+        // to the coprocessor within the same coincident edge).
+        // The caller sleeps for the duration of the operation.
+        self.sched.sleep(self.caller, SimTime::ZERO);
+
+        let mut sched = EdgeScheduler::new();
+        let imu_clk = sched.add_clock(ClockDomain::new(self.imu_freq));
+        let cp_clk = sched.add_clock(ClockDomain::new(self.cp_freq));
+        let mut fault_stall = SimTime::ZERO;
+        let mut t_done = None;
+        let mut cp_cycles = 0u64;
+        let mut edges = 0u64;
+        // Overlapped prefetch bookkeeping: when the CPU finishes its
+        // queued background copies, and which installs mature when.
+        let mut cpu_busy_until = SimTime::ZERO;
+        let mut pending: Vec<(SimTime, PendingInstall)> = Vec::new();
+        let mut fault_latency = LatencyHistogram::new();
+
+        while edges < self.edge_budget {
+            edges += 1;
+            let (t, id) = sched.pop().expect("two clocks registered");
+
+            // Commit background installs that matured by now.
+            while let Some(pos) = pending.iter().position(|&(ready, _)| ready <= t) {
+                let (_, install) = pending.remove(pos);
+                self.vim.commit_install(&mut self.imu, &install);
+            }
+
+            if id == imu_clk {
+                let mut link = PortLink::new(&mut self.port);
+                let event = self
+                    .imu
+                    .step(t, &mut link, &mut self.dpram, &mut self.trace);
+                match event {
+                    Some(ImuEvent::Fault) => {
+                        self.irq.raise(self.pld_irq);
+                        let svc = self.vim.service_fault(&mut self.imu, &mut self.dpram)?;
+                        self.irq.acknowledge(self.pld_irq);
+                        // The handler waits for any background copies
+                        // still occupying the CPU.
+                        let start = t.max(cpu_busy_until);
+                        let mut resume_at = start + svc.times.total();
+                        if let Some(frame) = svc.wait_for {
+                            // Faulted on a page whose copy is in flight:
+                            // wait for it, commit, resume — no second copy.
+                            if let Some(pos) = pending.iter().position(|&(_, pi)| pi.frame == frame)
+                            {
+                                let (ready, install) = pending.remove(pos);
+                                resume_at = resume_at.max(ready);
+                                self.vim.commit_install(&mut self.imu, &install);
+                            }
+                            self.imu.resume();
+                        }
+                        cpu_busy_until = resume_at;
+                        for install in self.vim.take_pending_installs() {
+                            cpu_busy_until += install.cost;
+                            pending.push((cpu_busy_until, install));
+                        }
+                        let stall = resume_at.saturating_sub(t);
+                        fault_latency.record(stall);
+                        fault_stall += stall;
+                        sched.clock_mut(imu_clk).fast_forward_past(resume_at);
+                        sched.clock_mut(cp_clk).fast_forward_past(resume_at);
+                    }
+                    Some(ImuEvent::Done) => {
+                        self.irq.raise(self.pld_irq);
+                        t_done = Some(t);
+                        break;
+                    }
+                    None => {}
+                }
+            } else if let Some(cp) = self.coprocessor.as_mut() {
+                cp.step(&mut self.port);
+                cp_cycles += 1;
+            }
+        }
+
+        let Some(t_done) = t_done else {
+            // Even a hung coprocessor must not leave the caller asleep.
+            self.sched
+                .wake(self.caller, sched.clock(imu_clk).next_edge());
+            return Err(Error::Timeout {
+                budget: self.edge_budget,
+            });
+        };
+        let done_svc = self.vim.service_done(&mut self.imu, &mut self.dpram)?;
+        self.irq.acknowledge(self.pld_irq);
+        self.sched.wake(self.caller, t_done + done_svc.total());
+
+        let report = ExecutionReport {
+            wall: setup + t_done + done_svc.total(),
+            hw: t_done.saturating_sub(fault_stall),
+            sw_dp: self.vim.times().get("sw_dp").saturating_sub(dp0),
+            sw_imu: self.vim.times().get("sw_imu").saturating_sub(imu_t0),
+            setup,
+            faults: self.vim.counters().get("fault") - faults0,
+            page_loads: self.vim.counters().get("page_load") - loads0,
+            page_writebacks: self.vim.counters().get("page_writeback") - wb0,
+            evictions: self.vim.counters().get("eviction") - ev0,
+            prefetches: self.vim.counters().get("prefetch") - pf0,
+            tlb_hits: self.imu.tlb().hits() - hits0,
+            tlb_misses: self.imu.tlb().misses() - miss0,
+            cp_cycles,
+            imu_edges: self.imu.edges() - imu_edges0,
+            fault_latency,
+            counters: self.vim.counters().clone(),
+        };
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "integer multiple")]
+    fn clocks_must_divide() {
+        let _ = SystemBuilder::epxa1().clocks(Frequency::from_mhz(7), Frequency::from_mhz(24));
+    }
+
+    #[test]
+    fn cdc_synchroniser_is_automatic() {
+        let same = SystemBuilder::epxa1()
+            .clocks(Frequency::from_mhz(40), Frequency::from_mhz(40))
+            .build();
+        assert_eq!(same.imu().config().sync_edges, 0);
+        let cross = SystemBuilder::epxa1()
+            .clocks(Frequency::from_mhz(6), Frequency::from_mhz(24))
+            .build();
+        assert_eq!(cross.imu().config().sync_edges, 2, "two-flop synchroniser");
+        let forced = SystemBuilder::epxa1()
+            .clocks(Frequency::from_mhz(6), Frequency::from_mhz(24))
+            .sync_edges(0)
+            .build();
+        assert_eq!(forced.imu().config().sync_edges, 0);
+    }
+
+    #[test]
+    fn builder_wires_device_geometry() {
+        let system = SystemBuilder::new(vcop_fabric::DeviceProfile::epxa4()).build();
+        assert_eq!(system.device().dpram_bytes, 64 * 1024);
+        assert_eq!(system.imu().config().tlb_entries, 32);
+        assert_eq!(system.vim().config().frame_count, 32);
+    }
+
+    #[test]
+    fn pipeline_depth_reaches_imu_and_port() {
+        let system = SystemBuilder::epxa1().pipeline_depth(4).build();
+        assert_eq!(system.imu().config().pipeline_depth, 4);
+        // Depth zero clamps to one.
+        let system = SystemBuilder::epxa1().pipeline_depth(0).build();
+        assert_eq!(system.imu().config().pipeline_depth, 1);
+    }
+
+    #[test]
+    fn fresh_system_state() {
+        let system = SystemBuilder::epxa1().trace(true).build();
+        assert!(system.tracer().is_some());
+        assert_eq!(system.load_time(), SimTime::ZERO);
+        assert_eq!(system.caller_sleep_time(), SimTime::ZERO);
+        assert_eq!(system.cp_freq(), Frequency::from_mhz(40));
+        assert_eq!(system.imu_freq(), Frequency::from_mhz(40));
+        let untraced = SystemBuilder::epxa1().build();
+        assert!(untraced.tracer().is_none());
+    }
+}

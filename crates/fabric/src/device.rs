@@ -1,0 +1,194 @@
+//! Reconfigurable-SoC device profiles.
+//!
+//! The paper's prototype uses the Altera Excalibur EPXA1 and argues that
+//! porting to the larger EPXA4/EPXA10 parts (with bigger dual-port
+//! memories) "would require only recompiling the \[VIM\] module" while user
+//! applications and coprocessor HDL stay untouched. Device profiles make
+//! that claim testable: the whole platform is parameterised by one of
+//! these descriptors.
+
+use core::fmt;
+
+use vcop_sim::time::Frequency;
+
+use crate::resources::Resources;
+
+/// A family member of the modelled reconfigurable SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Altera Excalibur EPXA1 (the paper's board).
+    Epxa1,
+    /// Altera Excalibur EPXA4.
+    Epxa4,
+    /// Altera Excalibur EPXA10.
+    Epxa10,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::Epxa1 => write!(f, "EPXA1"),
+            DeviceKind::Epxa4 => write!(f, "EPXA4"),
+            DeviceKind::Epxa10 => write!(f, "EPXA10"),
+        }
+    }
+}
+
+/// Static description of a device: stripe clock, PLD capacity, dual-port
+/// memory geometry and configuration interface width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Which family member this is.
+    pub kind: DeviceKind,
+    /// ARM-stripe processor clock.
+    pub cpu_freq: Frequency,
+    /// PLD resource capacity.
+    pub pld: Resources,
+    /// Dual-port RAM size in bytes.
+    pub dpram_bytes: usize,
+    /// Dual-port RAM page size in bytes (a VIM policy choice; 2 KB on the
+    /// prototype).
+    pub page_bytes: usize,
+    /// Configuration clock for bitstream loading.
+    pub config_freq: Frequency,
+    /// Configuration interface width in bits per config-clock cycle.
+    pub config_width_bits: u32,
+}
+
+impl DeviceProfile {
+    /// The EPXA1 exactly as in the paper: 133 MHz ARM, 16 KB dual-port
+    /// RAM in eight 2 KB pages.
+    pub fn epxa1() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Epxa1,
+            cpu_freq: Frequency::from_mhz(133),
+            pld: Resources::new(4_160, 53_248), // 4160 LEs, 26 ESBs × 2 kbit
+            dpram_bytes: 16 * 1024,
+            page_bytes: 2 * 1024,
+            config_freq: Frequency::from_mhz(33),
+            config_width_bits: 8,
+        }
+    }
+
+    /// The EPXA4: four times the logic and a 64 KB dual-port memory.
+    pub fn epxa4() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Epxa4,
+            cpu_freq: Frequency::from_mhz(133),
+            pld: Resources::new(16_640, 212_992),
+            dpram_bytes: 64 * 1024,
+            page_bytes: 2 * 1024,
+            config_freq: Frequency::from_mhz(33),
+            config_width_bits: 8,
+        }
+    }
+
+    /// The EPXA10: the largest member, 256 KB dual-port memory.
+    pub fn epxa10() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Epxa10,
+            cpu_freq: Frequency::from_mhz(133),
+            pld: Resources::new(38_400, 327_680),
+            dpram_bytes: 256 * 1024,
+            page_bytes: 2 * 1024,
+            config_freq: Frequency::from_mhz(33),
+            config_width_bits: 8,
+        }
+    }
+
+    /// Profile for an arbitrary family member.
+    pub fn of(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Epxa1 => DeviceProfile::epxa1(),
+            DeviceKind::Epxa4 => DeviceProfile::epxa4(),
+            DeviceKind::Epxa10 => DeviceProfile::epxa10(),
+        }
+    }
+
+    /// Number of dual-port RAM pages available to the VIM.
+    pub fn page_count(&self) -> usize {
+        self.dpram_bytes / self.page_bytes
+    }
+
+    /// Returns a copy with a different page size (a VIM tuning ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero, not word-aligned, or does not
+    /// divide the dual-port RAM size.
+    pub fn with_page_bytes(mut self, page_bytes: usize) -> Self {
+        assert!(
+            page_bytes > 0
+                && page_bytes.is_multiple_of(4)
+                && self.dpram_bytes.is_multiple_of(page_bytes),
+            "page size {page_bytes} incompatible with {} B dual-port RAM",
+            self.dpram_bytes
+        );
+        self.page_bytes = page_bytes;
+        self
+    }
+}
+
+impl fmt::Display for DeviceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (CPU {}, PLD {}, DP-RAM {} KB in {} pages)",
+            self.kind,
+            self.cpu_freq,
+            self.pld,
+            self.dpram_bytes / 1024,
+            self.page_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epxa1_matches_paper() {
+        let d = DeviceProfile::epxa1();
+        assert_eq!(d.cpu_freq, Frequency::from_mhz(133));
+        assert_eq!(d.dpram_bytes, 16 * 1024);
+        assert_eq!(d.page_bytes, 2 * 1024);
+        assert_eq!(d.page_count(), 8);
+    }
+
+    #[test]
+    fn family_scales_monotonically() {
+        let a1 = DeviceProfile::epxa1();
+        let a4 = DeviceProfile::epxa4();
+        let a10 = DeviceProfile::epxa10();
+        assert!(a1.dpram_bytes < a4.dpram_bytes && a4.dpram_bytes < a10.dpram_bytes);
+        assert!(a1.pld.logic_elements < a4.pld.logic_elements);
+        assert!(a4.pld.logic_elements < a10.pld.logic_elements);
+    }
+
+    #[test]
+    fn of_roundtrips_kind() {
+        for kind in [DeviceKind::Epxa1, DeviceKind::Epxa4, DeviceKind::Epxa10] {
+            assert_eq!(DeviceProfile::of(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn page_size_override() {
+        let d = DeviceProfile::epxa1().with_page_bytes(1024);
+        assert_eq!(d.page_count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn bad_page_size_rejected() {
+        let _ = DeviceProfile::epxa1().with_page_bytes(3000);
+    }
+
+    #[test]
+    fn display_mentions_pages() {
+        let s = DeviceProfile::epxa1().to_string();
+        assert!(s.contains("EPXA1"));
+        assert!(s.contains("8 pages"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # vcop-fabric — the reconfigurable fabric model
+//!
+//! Models the PLD half of the reconfigurable SoC used in *Vuletić et al.
+//! (DATE 2004)*:
+//!
+//! * [`port`] — the portable `CP_*` coprocessor interface of the paper's
+//!   Fig. 4, including the [`port::Coprocessor`] trait that all hardware
+//!   cores in the workspace implement;
+//! * [`device`] — Excalibur family device profiles (EPXA1/4/10);
+//! * [`resources`] — PLD resource bundles and fit checks;
+//! * [`bitstream`] — the synthetic configuration container with CRC-32
+//!   integrity;
+//! * [`loader`] — the configuration controller backing `FPGA_LOAD`
+//!   (validation, exclusivity, load-time model).
+//!
+//! The defining property of this layer is *portability*: a
+//! [`port::Coprocessor`] never sees a physical address, a memory size, or
+//! a platform signal — only object identifiers and element indices. The
+//! IMU (in `vcop-imu`) is the sole owner of physical knowledge.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitstream;
+pub mod device;
+pub mod loader;
+pub mod port;
+pub mod resources;
+
+pub use device::{DeviceKind, DeviceProfile};
+pub use port::{Coprocessor, CoprocessorPort, ObjectId, PortLink};

@@ -1,0 +1,506 @@
+//! The portable coprocessor port (the `CP_*` interface of Fig. 4).
+//!
+//! A standardised coprocessor communicates with the system exclusively
+//! through these signals, generating *virtual interface addresses* — an
+//! object identifier (`CP_OBJ`) plus an element index (`CP_ADDR`) — and
+//! never a physical address. The IMU on the other side of the port
+//! translates, stalls, and completes the accesses.
+//!
+//! ## Handshake semantics (as modelled)
+//!
+//! * The coprocessor *issues* an access by driving `CP_OBJ`, `CP_ADDR`,
+//!   `CP_WR` (+ `CP_DOUT` for writes) and asserting `CP_ACCESS` during one
+//!   of its rising clock edges ([`CoprocessorPort::issue_read`] /
+//!   [`CoprocessorPort::issue_write`] inside [`Coprocessor::step`]).
+//! * The access *completes* on the first coprocessor edge at which
+//!   `CP_TLBHIT` is sampled high; read data is then valid on `CP_DIN`.
+//!   Until then the coprocessor is stalled
+//!   ([`CoprocessorPort::can_issue`] is false and no completion is
+//!   delivered).
+//! * A non-pipelined IMU accepts one outstanding access (`depth == 1`);
+//!   the pipelined variant raises the depth so a streaming coprocessor
+//!   can overlap translations. Completions are always delivered in issue
+//!   order.
+//! * `CP_FIN` ([`CoprocessorPort::finish`]) tells the IMU the operation
+//!   is complete; `CP_START` gates the FSM.
+//! * Scalar parameters are read through the reserved object
+//!   [`ObjectId::PARAM`]; asserting *param-done*
+//!   ([`CoprocessorPort::param_done`]) invalidates the parameter page so
+//!   the OS can reuse it for data (Section 3.2 of the paper).
+
+use core::fmt;
+use std::collections::VecDeque;
+
+/// Identifier of a mapped interface object — "a number agreed by the
+/// hardware and software designers" (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u8);
+
+impl ObjectId {
+    /// The reserved identifier used to read scalar parameters from the
+    /// parameter-passing page.
+    pub const PARAM: ObjectId = ObjectId(0xFF);
+
+    /// Whether this is the reserved parameter object.
+    pub fn is_param(self) -> bool {
+        self == ObjectId::PARAM
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_param() {
+            write!(f, "obj[PARAM]")
+        } else {
+            write!(f, "obj[{}]", self.0)
+        }
+    }
+}
+
+/// Direction of a coprocessor access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// `CP_WR` low: the coprocessor reads `CP_DIN`.
+    Read,
+    /// `CP_WR` high: the coprocessor drives `CP_DOUT`.
+    Write,
+}
+
+/// One access as seen on the port: a virtual interface address plus
+/// direction and (for writes) data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRequest {
+    /// `CP_OBJ` — which mapped object.
+    pub obj: ObjectId,
+    /// `CP_ADDR` — element index within the object (element size is a
+    /// property of the mapping, not of the coprocessor).
+    pub index: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// `CP_DOUT` value for writes (ignored for reads).
+    pub data: u32,
+}
+
+impl AccessRequest {
+    /// Builds a read request.
+    pub fn read(obj: ObjectId, index: u32) -> Self {
+        AccessRequest {
+            obj,
+            index,
+            kind: AccessKind::Read,
+            data: 0,
+        }
+    }
+
+    /// Builds a write request.
+    pub fn write(obj: ObjectId, index: u32, data: u32) -> Self {
+        AccessRequest {
+            obj,
+            index,
+            kind: AccessKind::Write,
+            data,
+        }
+    }
+}
+
+/// A completed access delivered back to the coprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedAccess {
+    /// The original request.
+    pub request: AccessRequest,
+    /// `CP_DIN` for reads; echoes the written value for writes.
+    pub data: u32,
+}
+
+/// The coprocessor side of the port.
+///
+/// The IMU owns a [`PortLink`]; the coprocessor receives `&mut
+/// CoprocessorPort` in each [`Coprocessor::step`] call. Both are views of
+/// the same state, exchanged by the platform model between clock edges.
+#[derive(Debug, Clone)]
+pub struct CoprocessorPort {
+    started: bool,
+    depth: usize,
+    outstanding: VecDeque<AccessRequest>,
+    completed: VecDeque<CompletedAccess>,
+    fin: bool,
+    param_done: bool,
+    issued_total: u64,
+}
+
+impl CoprocessorPort {
+    /// Creates a port able to hold `depth` outstanding accesses
+    /// (`depth == 1` models the paper's non-pipelined IMU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "port depth must be at least 1");
+        CoprocessorPort {
+            started: false,
+            depth,
+            outstanding: VecDeque::new(),
+            completed: VecDeque::new(),
+            fin: false,
+            param_done: false,
+            issued_total: 0,
+        }
+    }
+
+    /// Whether `CP_START` has been asserted by the IMU.
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Whether the coprocessor may issue another access this edge
+    /// (i.e. the translation queue has room).
+    pub fn can_issue(&self) -> bool {
+        self.outstanding.len() + self.completed.len() < self.depth
+    }
+
+    /// Whether any access is in flight (issued, not yet retired).
+    pub fn busy(&self) -> bool {
+        !self.outstanding.is_empty()
+    }
+
+    /// Issues a read of element `index` of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`CoprocessorPort::can_issue`] is false — a correct FSM
+    /// checks before issuing, exactly as RTL must respect `CP_TLBHIT`.
+    pub fn issue_read(&mut self, obj: ObjectId, index: u32) {
+        self.issue(AccessRequest::read(obj, index));
+    }
+
+    /// Issues a write of `data` to element `index` of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`CoprocessorPort::can_issue`] is false.
+    pub fn issue_write(&mut self, obj: ObjectId, index: u32, data: u32) {
+        self.issue(AccessRequest::write(obj, index, data));
+    }
+
+    fn issue(&mut self, req: AccessRequest) {
+        assert!(
+            self.can_issue(),
+            "coprocessor issued an access while the port was full (ignored CP_TLBHIT)"
+        );
+        self.outstanding.push_back(req);
+        self.issued_total += 1;
+    }
+
+    /// Retires the oldest completed access, if any. Completions are
+    /// delivered strictly in issue order.
+    pub fn take_completed(&mut self) -> Option<CompletedAccess> {
+        self.completed.pop_front()
+    }
+
+    /// Peeks at the oldest completed access without retiring it.
+    pub fn peek_completed(&self) -> Option<&CompletedAccess> {
+        self.completed.front()
+    }
+
+    /// Asserts `CP_FIN` — the coprocessor has finished its operation.
+    pub fn finish(&mut self) {
+        self.fin = true;
+    }
+
+    /// Signals that all scalar parameters have been read and the
+    /// parameter page may be invalidated and reused.
+    pub fn param_done(&mut self) {
+        self.param_done = true;
+    }
+
+    /// Total accesses issued since reset (diagnostic).
+    pub fn issued_total(&self) -> u64 {
+        self.issued_total
+    }
+}
+
+/// The IMU side of the port.
+///
+/// Wraps the same state as [`CoprocessorPort`]; the platform model hands
+/// the IMU this view at IMU clock edges.
+#[derive(Debug)]
+pub struct PortLink<'a> {
+    port: &'a mut CoprocessorPort,
+}
+
+impl<'a> PortLink<'a> {
+    /// Creates the IMU-side view.
+    pub fn new(port: &'a mut CoprocessorPort) -> Self {
+        PortLink { port }
+    }
+
+    /// Drives `CP_START`.
+    pub fn set_start(&mut self, start: bool) {
+        self.port.started = start;
+    }
+
+    /// The oldest request awaiting translation, if any.
+    pub fn pending_request(&self) -> Option<&AccessRequest> {
+        self.port.outstanding.front()
+    }
+
+    /// All requests awaiting translation, oldest first (a pipelined IMU
+    /// accepts several).
+    pub fn outstanding(&self) -> impl Iterator<Item = &AccessRequest> {
+        self.port.outstanding.iter()
+    }
+
+    /// Number of requests awaiting translation.
+    pub fn outstanding_len(&self) -> usize {
+        self.port.outstanding.len()
+    }
+
+    /// Completes the oldest outstanding request, delivering `data` (for
+    /// reads) to the coprocessor at its next edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is outstanding.
+    pub fn complete(&mut self, data: u32) {
+        let req = self
+            .port
+            .outstanding
+            .pop_front()
+            .expect("complete() with no outstanding access");
+        self.port
+            .completed
+            .push_back(CompletedAccess { request: req, data });
+    }
+
+    /// Consumes a pending `CP_FIN` assertion, if one occurred.
+    pub fn take_fin(&mut self) -> bool {
+        std::mem::take(&mut self.port.fin)
+    }
+
+    /// Consumes a pending param-done assertion, if one occurred.
+    pub fn take_param_done(&mut self) -> bool {
+        std::mem::take(&mut self.port.param_done)
+    }
+
+    /// Clears all port state (hardware reset / new `FPGA_EXECUTE`).
+    pub fn reset(&mut self) {
+        let depth = self.port.depth;
+        *self.port = CoprocessorPort::new(depth);
+    }
+}
+
+/// A hardware coprocessor expressed as a clocked FSM against the port.
+///
+/// Implementations must be *pure port citizens*: all data flows through
+/// issued accesses, never through shared memory or physical addresses —
+/// that is precisely the portability property the paper establishes.
+///
+/// # Examples
+///
+/// A coprocessor that copies one word and finishes:
+///
+/// ```
+/// use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+///
+/// #[derive(Debug, Default)]
+/// struct Copy1 {
+///     state: u8,
+/// }
+///
+/// impl Coprocessor for Copy1 {
+///     fn name(&self) -> &str { "copy1" }
+///     fn reset(&mut self) { self.state = 0; }
+///     fn step(&mut self, port: &mut CoprocessorPort) {
+///         match self.state {
+///             0 if port.started() && port.can_issue() => {
+///                 port.issue_read(ObjectId(0), 0);
+///                 self.state = 1;
+///             }
+///             1 => {
+///                 if let Some(done) = port.take_completed() {
+///                     port.issue_write(ObjectId(1), 0, done.data);
+///                     self.state = 2;
+///                 }
+///             }
+///             2 => {
+///                 if port.take_completed().is_some() {
+///                     port.finish();
+///                     self.state = 3;
+///                 }
+///             }
+///             _ => {}
+///         }
+///     }
+/// }
+/// ```
+pub trait Coprocessor: fmt::Debug {
+    /// Human-readable core name (appears in reports and traces).
+    fn name(&self) -> &str;
+
+    /// Synchronous reset: return to the pre-`CP_START` state.
+    fn reset(&mut self);
+
+    /// One rising edge of the coprocessor clock.
+    fn step(&mut self, port: &mut CoprocessorPort);
+
+    /// Whether the FSM has reached its terminal state (after asserting
+    /// `CP_FIN`). Used by tests; the platform model keys off `CP_FIN`.
+    fn is_finished(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_complete_in_order() {
+        let mut port = CoprocessorPort::new(2);
+        port.issue_read(ObjectId(0), 5);
+        port.issue_write(ObjectId(1), 6, 0xAA);
+        assert!(port.busy());
+        assert!(!port.can_issue());
+
+        let mut link = PortLink::new(&mut port);
+        assert_eq!(link.pending_request().unwrap().index, 5);
+        link.complete(0x11);
+        assert_eq!(link.pending_request().unwrap().index, 6);
+        link.complete(0xAA);
+
+        let first = port.take_completed().unwrap();
+        assert_eq!(first.request.kind, AccessKind::Read);
+        assert_eq!(first.data, 0x11);
+        let second = port.take_completed().unwrap();
+        assert_eq!(second.request.kind, AccessKind::Write);
+        assert!(port.take_completed().is_none());
+    }
+
+    #[test]
+    fn depth_one_serialises() {
+        let mut port = CoprocessorPort::new(1);
+        port.issue_read(ObjectId(0), 0);
+        assert!(!port.can_issue());
+        PortLink::new(&mut port).complete(1);
+        // Completion still occupies the slot until retired.
+        assert!(!port.can_issue());
+        port.take_completed();
+        assert!(port.can_issue());
+    }
+
+    #[test]
+    #[should_panic(expected = "port was full")]
+    fn overissue_panics() {
+        let mut port = CoprocessorPort::new(1);
+        port.issue_read(ObjectId(0), 0);
+        port.issue_read(ObjectId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outstanding access")]
+    fn complete_without_pending_panics() {
+        let mut port = CoprocessorPort::new(1);
+        PortLink::new(&mut port).complete(0);
+    }
+
+    #[test]
+    fn fin_and_param_done_are_consumed_once() {
+        let mut port = CoprocessorPort::new(1);
+        port.finish();
+        port.param_done();
+        let mut link = PortLink::new(&mut port);
+        assert!(link.take_fin());
+        assert!(!link.take_fin());
+        assert!(link.take_param_done());
+        assert!(!link.take_param_done());
+    }
+
+    #[test]
+    fn start_gating() {
+        let mut port = CoprocessorPort::new(1);
+        assert!(!port.started());
+        PortLink::new(&mut port).set_start(true);
+        assert!(port.started());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut port = CoprocessorPort::new(3);
+        PortLink::new(&mut port).set_start(true);
+        port.issue_read(ObjectId(0), 0);
+        port.finish();
+        let mut link = PortLink::new(&mut port);
+        link.reset();
+        assert!(!port.started());
+        assert!(!port.busy());
+        assert!(port.can_issue());
+        assert_eq!(port.issued_total(), 0);
+    }
+
+    #[test]
+    fn param_object_is_reserved() {
+        assert!(ObjectId::PARAM.is_param());
+        assert!(!ObjectId(3).is_param());
+        assert_eq!(ObjectId::PARAM.to_string(), "obj[PARAM]");
+        assert_eq!(ObjectId(3).to_string(), "obj[3]");
+    }
+
+    #[test]
+    fn doc_copy1_runs() {
+        // Mirror of the trait-level doc example, executed against a link.
+        #[derive(Debug, Default)]
+        struct Copy1 {
+            state: u8,
+        }
+        impl Coprocessor for Copy1 {
+            fn name(&self) -> &str {
+                "copy1"
+            }
+            fn reset(&mut self) {
+                self.state = 0;
+            }
+            fn step(&mut self, port: &mut CoprocessorPort) {
+                match self.state {
+                    0 if port.started() && port.can_issue() => {
+                        port.issue_read(ObjectId(0), 0);
+                        self.state = 1;
+                    }
+                    1 => {
+                        if let Some(done) = port.take_completed() {
+                            port.issue_write(ObjectId(1), 0, done.data);
+                            self.state = 2;
+                        }
+                    }
+                    2 if port.take_completed().is_some() => {
+                        port.finish();
+                        self.state = 3;
+                    }
+                    _ => {}
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.state == 3
+            }
+        }
+
+        let mut cp = Copy1::default();
+        let mut port = CoprocessorPort::new(1);
+        PortLink::new(&mut port).set_start(true);
+        for _ in 0..16 {
+            cp.step(&mut port);
+            let mut link = PortLink::new(&mut port);
+            if link.pending_request().is_some() {
+                let data = match link.pending_request().unwrap().kind {
+                    AccessKind::Read => 0x42,
+                    AccessKind::Write => link.pending_request().unwrap().data,
+                };
+                link.complete(data);
+            }
+            if link.take_fin() {
+                break;
+            }
+        }
+        assert!(cp.is_finished());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by the simulation substrate.
+
+use core::fmt;
+
+/// Errors produced by substrate components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A component was constructed with invalid parameters.
+    Config(String),
+    /// A memory access fell outside the addressable range.
+    AddressOutOfRange {
+        /// Offending byte address.
+        addr: u64,
+        /// Size of the addressed memory.
+        size: u64,
+    },
+    /// A multi-byte access was not naturally aligned.
+    Misaligned {
+        /// Offending byte address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::AddressOutOfRange { addr, size } => {
+                write!(
+                    f,
+                    "address {addr:#x} out of range for memory of {size:#x} bytes"
+                )
+            }
+            SimError::Misaligned { addr } => write!(f, "misaligned access at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::Config("bad".into()).to_string(),
+            "invalid configuration: bad"
+        );
+        assert_eq!(
+            SimError::AddressOutOfRange {
+                addr: 0x10,
+                size: 0x8
+            }
+            .to_string(),
+            "address 0x10 out of range for memory of 0x8 bytes"
+        );
+        assert_eq!(
+            SimError::Misaligned { addr: 3 }.to_string(),
+            "misaligned access at 0x3"
+        );
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(SimError::Misaligned { addr: 1 });
+    }
+}

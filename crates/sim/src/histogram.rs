@@ -1,0 +1,283 @@
+//! Latency distributions.
+//!
+//! Averages hide the structure of OS service times: a fault that only
+//! repairs one TLB entry costs microseconds, one that evicts a dirty
+//! page and reloads costs tens. [`LatencyHistogram`] records
+//! [`SimTime`] samples in logarithmic buckets and answers percentile
+//! queries, so reports can state "p50 fault service 38 µs, p99 142 µs"
+//! instead of a single mean.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// Number of logarithmic buckets (1 ps to ~1.15 s, one per power of
+/// two plus an overflow bucket).
+const BUCKETS: usize = 41;
+
+/// A fixed-memory log₂ histogram over [`SimTime`] samples.
+///
+/// # Examples
+///
+/// ```
+/// use vcop_sim::histogram::LatencyHistogram;
+/// use vcop_sim::time::SimTime;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [10u64, 12, 14, 100] {
+///     h.record(SimTime::from_us(us));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.50) <= h.percentile(0.99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: SimTime,
+    min: SimTime,
+    max: SimTime,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: SimTime::ZERO,
+            min: SimTime::MAX,
+            max: SimTime::ZERO,
+        }
+    }
+
+    fn bucket_of(t: SimTime) -> usize {
+        let ps = t.as_ps();
+        if ps == 0 {
+            0
+        } else {
+            (63 - u64::leading_zeros(ps) as usize + 1).min(BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_limit(i: usize) -> SimTime {
+        if i >= BUCKETS - 1 {
+            SimTime::MAX
+        } else if i == 0 {
+            SimTime::from_ps(1)
+        } else {
+            SimTime::from_ps(1u64 << i)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, t: SimTime) {
+        self.buckets[Self::bucket_of(t)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(t);
+        self.min = self.min.min(t);
+        self.max = self.max.max(t);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> SimTime {
+        self.sum
+    }
+
+    /// Mean sample (zero when empty).
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimTime {
+        self.max
+    }
+
+    /// The `q`-quantile (0.0–1.0) as the upper bound of the bucket the
+    /// quantile falls in — exact samples are not retained, so this is an
+    /// upper estimate with ≤ 2× resolution, except for the exact `max`
+    /// returned at `q == 1.0`.
+    ///
+    /// Returns zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn percentile(&self, q: f64) -> SimTime {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_limit(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(no samples)");
+        }
+        write!(
+            f,
+            "n={} min={} p50={} p90={} p99={} max={} mean={}",
+            self.count,
+            self.min(),
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max(),
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.percentile(0.5), SimTime::ZERO);
+        assert_eq!(h.to_string(), "(no samples)");
+    }
+
+    #[test]
+    fn single_sample_statistics() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_us(7));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), SimTime::from_us(7));
+        assert_eq!(h.min(), SimTime::from_us(7));
+        assert_eq!(h.max(), SimTime::from_us(7));
+        assert_eq!(h.percentile(1.0), SimTime::from_us(7));
+        // Bucketed percentile is an upper estimate within 2×.
+        let p50 = h.percentile(0.5);
+        assert!(p50 >= SimTime::from_us(7) && p50 <= SimTime::from_us(14));
+    }
+
+    #[test]
+    fn percentiles_are_monotonic() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimTime::from_ns(i));
+        }
+        let mut last = SimTime::ZERO;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "q={q}");
+            last = p;
+        }
+        assert_eq!(h.percentile(1.0), SimTime::from_ns(1000));
+    }
+
+    #[test]
+    fn heavy_tail_is_visible() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(SimTime::from_us(10));
+        }
+        h.record(SimTime::from_ms(5));
+        assert!(h.percentile(0.5) < SimTime::from_us(25));
+        assert_eq!(h.percentile(1.0), SimTime::from_ms(5));
+        assert!(h.mean() > SimTime::from_us(55));
+    }
+
+    #[test]
+    fn zero_sample_goes_to_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        a.record(SimTime::from_us(1));
+        let mut b = LatencyHistogram::new();
+        b.record(SimTime::from_us(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimTime::from_us(100));
+        assert_eq!(a.min(), SimTime::from_us(1));
+        // Merging an empty histogram changes nothing.
+        let snapshot = a.count();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_panics() {
+        let h = LatencyHistogram::new();
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn display_contains_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_us(10));
+        h.record(SimTime::from_us(20));
+        let s = h.to_string();
+        assert!(s.contains("n=2"));
+        assert!(s.contains("p99"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Memory models: the on-chip dual-port RAM shared between the PLD and
+//! the ARM stripe, and a timing model of the external SDRAM that holds
+//! user-space data.
+
+pub mod dpram;
+pub mod sdram;
+
+pub use dpram::{DualPortRam, PageIndex, Port};
+pub use sdram::{SdramConfig, SdramModel};

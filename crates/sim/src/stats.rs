@@ -1,0 +1,189 @@
+//! Named counters and time buckets for simulation statistics.
+//!
+//! The paper decomposes execution time into three components (hardware,
+//! dual-port RAM management, IMU management); the rest of the workspace
+//! accumulates those — and auxiliary event counts such as page faults and
+//! TLB updates — through this module.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A set of named event counters.
+///
+/// # Examples
+///
+/// ```
+/// use vcop_sim::stats::Counters;
+///
+/// let mut c = Counters::new();
+/// c.add("page_fault", 1);
+/// c.add("page_fault", 2);
+/// assert_eq!(c.get("page_fault"), 3);
+/// assert_eq!(c.get("never"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.values.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another counter set into this one (summing shared names).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Whether no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k:32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A set of named time accumulators.
+///
+/// # Examples
+///
+/// ```
+/// use vcop_sim::stats::TimeBuckets;
+/// use vcop_sim::time::SimTime;
+///
+/// let mut t = TimeBuckets::new();
+/// t.add("sw_dp", SimTime::from_us(10));
+/// t.add("sw_dp", SimTime::from_us(5));
+/// assert_eq!(t.get("sw_dp"), SimTime::from_us(15));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeBuckets {
+    values: BTreeMap<&'static str, SimTime>,
+}
+
+impl TimeBuckets {
+    /// Creates an empty bucket set.
+    pub fn new() -> Self {
+        TimeBuckets::default()
+    }
+
+    /// Adds `t` to bucket `name`.
+    pub fn add(&mut self, name: &'static str, t: SimTime) {
+        let e = self.values.entry(name).or_insert(SimTime::ZERO);
+        *e = e.saturating_add(t);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> SimTime {
+        self.values.get(name).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Sum of all buckets.
+    pub fn total(&self) -> SimTime {
+        self.values.values().copied().sum()
+    }
+
+    /// Iterates over `(name, time)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, SimTime)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another bucket set into this one.
+    pub fn merge(&mut self, other: &TimeBuckets) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+impl fmt::Display for TimeBuckets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k:32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Counters::new();
+        a.incr("x");
+        a.add("y", 5);
+        let mut b = Counters::new();
+        b.add("x", 9);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 10);
+        assert_eq!(a.get("y"), 5);
+        assert!(!a.is_empty());
+        assert!(Counters::new().is_empty());
+    }
+
+    #[test]
+    fn counters_iterate_sorted() {
+        let mut c = Counters::new();
+        c.incr("zeta");
+        c.incr("alpha");
+        let names: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn buckets_total_and_merge() {
+        let mut t = TimeBuckets::new();
+        t.add("hw", SimTime::from_us(3));
+        t.add("sw", SimTime::from_us(7));
+        assert_eq!(t.total(), SimTime::from_us(10));
+        let mut u = TimeBuckets::new();
+        u.add("hw", SimTime::from_us(1));
+        t.merge(&u);
+        assert_eq!(t.get("hw"), SimTime::from_us(4));
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let mut c = Counters::new();
+        c.add("faults", 3);
+        assert!(c.to_string().contains("faults"));
+        let mut t = TimeBuckets::new();
+        t.add("hw", SimTime::from_ms(1));
+        assert!(t.to_string().contains("1.000 ms"));
+    }
+}

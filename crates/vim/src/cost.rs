@@ -1,0 +1,319 @@
+//! OS service cost model.
+//!
+//! The paper's figures split total execution time into hardware time and
+//! two software components: "software execution time for the dual-port
+//! RAM management (time spent in the OS transferring data from/to
+//! user-space memory)" and "software execution time for the IMU
+//! management (time spent in the OS checking which address has generated
+//! the fault and updating the translation table)". This module prices
+//! every VIM action in ARM cycles so those two buckets can be produced.
+//!
+//! The prototype's noted inefficiency — "our simple implementation of the
+//! VIM [...] makes two transfers each time a page is loaded or unloaded
+//! from the dual-port memory. We are currently removing this limitation."
+//! — is [`TransferMode::Double`]; [`TransferMode::Single`] is the
+//! announced improvement and drives the `abl-xfer` ablation.
+
+use vcop_sim::bus::{AhbBus, BurstKind, SlaveProfile};
+use vcop_sim::cpu::ArmCpu;
+use vcop_sim::dma::{DmaConfig, DmaEngine};
+use vcop_sim::mem::{SdramConfig, SdramModel};
+use vcop_sim::time::SimTime;
+
+/// How a logical page transfer is carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransferMode {
+    /// Paper-prototype behaviour: user ↔ bounce buffer ↔ dual-port RAM
+    /// (two CPU copies per page movement).
+    #[default]
+    Double,
+    /// Optimised VIM: one direct CPU copy per page movement.
+    Single,
+    /// DMA-assisted VIM: the CPU programs a descriptor and takes a
+    /// completion interrupt; the engine streams the page in bursts (an
+    /// extension beyond the paper's announced single-transfer fix).
+    Dma,
+}
+
+impl TransferMode {
+    /// CPU copy multiplier (descriptor-driven DMA performs one engine
+    /// transfer).
+    pub fn copies(self) -> u64 {
+        match self {
+            TransferMode::Double => 2,
+            TransferMode::Single | TransferMode::Dma => 1,
+        }
+    }
+}
+
+/// Fixed ARM-cycle overheads of kernel paths (entry/exit sequences,
+/// register reads, bookkeeping). Values are representative of a 2003-era
+/// ARM Linux kernel module and are *not* per-experiment calibration
+/// knobs; the figure shapes are insensitive to factor-of-two changes
+/// here because copies dominate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsOverheads {
+    /// Interrupt entry + exit (mode switch, register save/restore).
+    pub irq_entry_exit: u64,
+    /// Reading `SR`/`AR` and decoding the faulting access.
+    pub fault_decode: u64,
+    /// Writing one TLB entry through the register interface.
+    pub tlb_update: u64,
+    /// Writing `CR.resume`.
+    pub resume: u64,
+    /// Per-page software loop overhead around a copy.
+    pub page_loop: u64,
+    /// End-of-operation bookkeeping and process wake-up.
+    pub wake_process: u64,
+    /// System-call entry/exit (`FPGA_*` services).
+    pub syscall: u64,
+    /// Writing one scalar parameter word to the parameter page.
+    pub param_word: u64,
+}
+
+impl OsOverheads {
+    /// Defaults described above.
+    pub const fn paper_era() -> Self {
+        OsOverheads {
+            irq_entry_exit: 220,
+            fault_decode: 160,
+            tlb_update: 40,
+            resume: 12,
+            page_loop: 120,
+            wake_process: 320,
+            syscall: 500,
+            param_word: 10,
+        }
+    }
+}
+
+impl Default for OsOverheads {
+    fn default() -> Self {
+        OsOverheads::paper_era()
+    }
+}
+
+/// Prices VIM actions as wall-clock time on the ARM stripe.
+///
+/// Copies are costed against the AHB model (dual-port RAM side) plus the
+/// open-row SDRAM model (user-space side), exactly the two memories a
+/// kernel `memcpy` would touch on the board.
+#[derive(Debug, Clone)]
+pub struct OsCostModel {
+    cpu: ArmCpu,
+    bus: AhbBus,
+    sdram: SdramModel,
+    dma: DmaEngine,
+    overheads: OsOverheads,
+    transfer: TransferMode,
+    burst: BurstKind,
+}
+
+impl OsCostModel {
+    /// Cost model for the EPXA1 board in prototype (double-transfer,
+    /// non-burst) configuration.
+    pub fn epxa1() -> Self {
+        let cpu = ArmCpu::epxa1();
+        OsCostModel {
+            cpu,
+            bus: AhbBus::new(cpu.frequency()),
+            sdram: SdramModel::new(SdramConfig::epxa1()),
+            dma: DmaEngine::new(DmaConfig::paper_era()),
+            overheads: OsOverheads::paper_era(),
+            transfer: TransferMode::Double,
+            burst: BurstKind::Single,
+        }
+    }
+
+    /// Overrides the transfer mode.
+    pub fn with_transfer(mut self, transfer: TransferMode) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// Overrides the AHB burst kind used for page copies.
+    pub fn with_burst(mut self, burst: BurstKind) -> Self {
+        self.burst = burst;
+        self
+    }
+
+    /// Overrides the fixed overheads.
+    pub fn with_overheads(mut self, overheads: OsOverheads) -> Self {
+        self.overheads = overheads;
+        self
+    }
+
+    /// The transfer mode in force.
+    pub fn transfer(&self) -> TransferMode {
+        self.transfer
+    }
+
+    /// The CPU model used for cycle→time conversion.
+    pub fn cpu(&self) -> &ArmCpu {
+        &self.cpu
+    }
+
+    fn t(&self, cycles: u64) -> SimTime {
+        self.cpu.cycles_to_time(cycles)
+    }
+
+    /// Time to move `bytes` of a page between user space at `user_addr`
+    /// and the dual-port RAM, honouring the transfer mode.
+    pub fn page_move_time(&mut self, user_addr: usize, bytes: usize) -> SimTime {
+        let words = bytes.div_ceil(4);
+        let sdram_cycles = self.sdram.access_cycles(user_addr, words);
+        match self.transfer {
+            TransferMode::Double | TransferMode::Single => {
+                let bus_cycles = self
+                    .bus
+                    .transfer_cycles(words, SlaveProfile::DPRAM, self.burst)
+                    + self
+                        .bus
+                        .transfer_cycles(words, SlaveProfile::SDRAM, self.burst);
+                let one_copy = sdram_cycles + bus_cycles + self.overheads.page_loop;
+                self.t(one_copy * self.transfer.copies())
+            }
+            TransferMode::Dma => {
+                let cost = self.dma.transfer_cost(
+                    &self.bus,
+                    bytes,
+                    SlaveProfile::SDRAM,
+                    SlaveProfile::DPRAM,
+                );
+                self.t(cost.total_cycles() + sdram_cycles)
+            }
+        }
+    }
+
+    /// Time for interrupt entry/exit plus fault decode (`SR`/`AR` reads).
+    pub fn fault_entry_time(&self) -> SimTime {
+        self.t(self.overheads.irq_entry_exit + self.overheads.fault_decode)
+    }
+
+    /// Time to write one TLB entry.
+    pub fn tlb_update_time(&self) -> SimTime {
+        self.t(self.overheads.tlb_update)
+    }
+
+    /// Time to write `CR.resume`.
+    pub fn resume_time(&self) -> SimTime {
+        self.t(self.overheads.resume)
+    }
+
+    /// Time for end-of-operation bookkeeping and waking the caller.
+    pub fn done_service_time(&self) -> SimTime {
+        self.t(self.overheads.irq_entry_exit + self.overheads.wake_process)
+    }
+
+    /// Time for one `FPGA_*` system call's entry/exit.
+    pub fn syscall_time(&self) -> SimTime {
+        self.t(self.overheads.syscall)
+    }
+
+    /// Time to write `words` scalar parameters into the parameter page.
+    pub fn param_setup_time(&self, words: usize) -> SimTime {
+        self.t(self.overheads.param_word * words as u64
+            + self
+                .bus
+                .transfer_cycles(words, SlaveProfile::DPRAM, BurstKind::Single))
+    }
+
+    /// SDRAM row-hit statistics accumulated by page copies (diagnostics).
+    pub fn sdram_stats(&self) -> (u64, u64) {
+        (self.sdram.row_hits(), self.sdram.row_misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_mode_costs_twice_single() {
+        let mut single = OsCostModel::epxa1().with_transfer(TransferMode::Single);
+        let mut double = OsCostModel::epxa1().with_transfer(TransferMode::Double);
+        let ts = single.page_move_time(0, 2048);
+        let td = double.page_move_time(0, 2048);
+        assert_eq!(td.as_ps(), ts.as_ps() * 2);
+    }
+
+    #[test]
+    fn partial_page_cheaper() {
+        let mut m = OsCostModel::epxa1();
+        let full = m.page_move_time(0, 2048);
+        let mut m2 = OsCostModel::epxa1();
+        let partial = m2.page_move_time(0, 512);
+        assert!(partial < full);
+    }
+
+    #[test]
+    fn burst_mode_cheaper() {
+        let mut single = OsCostModel::epxa1();
+        let mut burst = OsCostModel::epxa1().with_burst(BurstKind::Incr16);
+        assert!(burst.page_move_time(0, 2048) < single.page_move_time(0, 2048));
+    }
+
+    #[test]
+    fn page_copy_magnitude_is_tens_of_microseconds() {
+        // Sanity against the board: a 2 KB copy over a 133 MHz AHB with
+        // per-word transactions lands in the tens of microseconds.
+        let mut m = OsCostModel::epxa1().with_transfer(TransferMode::Single);
+        let t = m.page_move_time(0, 2048);
+        assert!(t > SimTime::from_us(10), "got {t}");
+        assert!(t < SimTime::from_us(100), "got {t}");
+    }
+
+    #[test]
+    fn fixed_overheads_are_microsecond_scale() {
+        let m = OsCostModel::epxa1();
+        assert!(m.fault_entry_time() < SimTime::from_us(10));
+        assert!(m.tlb_update_time() < m.fault_entry_time());
+        assert!(m.resume_time() < m.tlb_update_time());
+        assert!(m.done_service_time() > m.fault_entry_time());
+        assert!(m.syscall_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn param_setup_scales_with_words() {
+        let m = OsCostModel::epxa1();
+        assert!(m.param_setup_time(8) > m.param_setup_time(1));
+        assert_eq!(m.param_setup_time(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sdram_stats_accumulate() {
+        let mut m = OsCostModel::epxa1();
+        m.page_move_time(0, 2048);
+        let (_hits, misses) = m.sdram_stats();
+        assert!(misses > 0);
+    }
+
+    #[test]
+    fn transfer_mode_accessors() {
+        assert_eq!(TransferMode::Double.copies(), 2);
+        assert_eq!(TransferMode::Single.copies(), 1);
+        assert_eq!(TransferMode::Dma.copies(), 1);
+        let m = OsCostModel::epxa1().with_transfer(TransferMode::Single);
+        assert_eq!(m.transfer(), TransferMode::Single);
+    }
+
+    #[test]
+    fn dma_beats_cpu_copies_for_full_pages() {
+        let mut single = OsCostModel::epxa1().with_transfer(TransferMode::Single);
+        let mut dma = OsCostModel::epxa1().with_transfer(TransferMode::Dma);
+        let t_single = single.page_move_time(0, 2048);
+        let t_dma = dma.page_move_time(0, 2048);
+        assert!(t_dma < t_single, "DMA {t_dma} !< single {t_single}");
+    }
+
+    #[test]
+    fn dma_setup_dominates_tiny_transfers() {
+        // For a handful of words the descriptor + interrupt overhead
+        // makes DMA comparable to or worse than a short CPU loop.
+        let mut single = OsCostModel::epxa1().with_transfer(TransferMode::Single);
+        let mut dma = OsCostModel::epxa1().with_transfer(TransferMode::Dma);
+        let t_single = single.page_move_time(0, 16);
+        let t_dma = dma.page_move_time(0, 16);
+        assert!(t_dma > t_single / 2, "setup cost must be visible");
+    }
+}

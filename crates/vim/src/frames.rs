@@ -1,0 +1,275 @@
+//! The frame table: OS bookkeeping of the physical interface pages.
+//!
+//! "The memory is logically organised in pages, as in typical memory
+//! systems. Datasets accessed by the coprocessor are mapped to these
+//! pages. The OS keeps track of the pages each dataset currently
+//! occupies." (Section 3.3.)
+
+use vcop_fabric::port::ObjectId;
+use vcop_sim::mem::PageIndex;
+
+/// What currently occupies a physical frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resident {
+    /// Object whose page resides here.
+    pub obj: ObjectId,
+    /// Virtual page number within the object.
+    pub vpage: u32,
+    /// Monotonic load sequence number (FIFO age).
+    pub loaded_seq: u64,
+}
+
+/// Per-frame occupancy state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameState {
+    /// Nothing resident.
+    #[default]
+    Free,
+    /// Reserved for parameter passing (not allocatable until the
+    /// coprocessor invalidates it).
+    Params,
+    /// Holds a page of a mapped object.
+    Resident(Resident),
+}
+
+/// The OS's view of the dual-port RAM frames.
+///
+/// # Examples
+///
+/// ```
+/// use vcop_fabric::port::ObjectId;
+/// use vcop_sim::mem::PageIndex;
+/// use vcop_vim::frames::FrameTable;
+///
+/// let mut ft = FrameTable::new(8);
+/// let frame = ft.find_free().expect("all free initially");
+/// ft.install(frame, ObjectId(0), 0);
+/// assert_eq!(ft.frame_of(ObjectId(0), 0), Some(frame));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTable {
+    frames: Vec<FrameState>,
+    next_seq: u64,
+}
+
+impl FrameTable {
+    /// Creates a table of `count` free frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "frame table needs at least one frame");
+        FrameTable {
+            frames: vec![FrameState::Free; count],
+            next_seq: 0,
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the table has no frames (never true; see [`FrameTable::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// State of `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range.
+    pub fn state(&self, frame: PageIndex) -> FrameState {
+        self.frames[frame.0]
+    }
+
+    /// Lowest-numbered free frame, if any.
+    pub fn find_free(&self) -> Option<PageIndex> {
+        self.frames
+            .iter()
+            .position(|s| *s == FrameState::Free)
+            .map(PageIndex)
+    }
+
+    /// Number of free frames.
+    pub fn free_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|s| **s == FrameState::Free)
+            .count()
+    }
+
+    /// Marks `frame` as holding page `vpage` of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range or not free.
+    pub fn install(&mut self, frame: PageIndex, obj: ObjectId, vpage: u32) -> Resident {
+        assert_eq!(
+            self.frames[frame.0],
+            FrameState::Free,
+            "installing into non-free frame {frame}"
+        );
+        let r = Resident {
+            obj,
+            vpage,
+            loaded_seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.frames[frame.0] = FrameState::Resident(r);
+        r
+    }
+
+    /// Frees `frame` (after eviction or final write-back), returning what
+    /// was resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range.
+    pub fn evict(&mut self, frame: PageIndex) -> Option<Resident> {
+        match self.frames[frame.0] {
+            FrameState::Resident(r) => {
+                self.frames[frame.0] = FrameState::Free;
+                Some(r)
+            }
+            // Parameter reservations are released only through
+            // `release_params`; an already-free frame stays free.
+            FrameState::Params | FrameState::Free => None,
+        }
+    }
+
+    /// Reserves `frame` for parameter passing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range or not free.
+    pub fn reserve_params(&mut self, frame: PageIndex) {
+        assert_eq!(
+            self.frames[frame.0],
+            FrameState::Free,
+            "parameter frame {frame} must be free"
+        );
+        self.frames[frame.0] = FrameState::Params;
+    }
+
+    /// Releases a parameter reservation (the coprocessor invalidated the
+    /// page). Returns whether a reservation existed.
+    pub fn release_params(&mut self, frame: PageIndex) -> bool {
+        if self.frames[frame.0] == FrameState::Params {
+            self.frames[frame.0] = FrameState::Free;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The frame currently holding page `vpage` of `obj`, if resident.
+    pub fn frame_of(&self, obj: ObjectId, vpage: u32) -> Option<PageIndex> {
+        self.frames
+            .iter()
+            .position(|s| match s {
+                FrameState::Resident(r) => r.obj == obj && r.vpage == vpage,
+                _ => false,
+            })
+            .map(PageIndex)
+    }
+
+    /// All `(frame, resident)` pairs, in frame order.
+    pub fn residents(&self) -> Vec<(PageIndex, Resident)> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                FrameState::Resident(r) => Some((PageIndex(i), *r)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Frees every frame (end of execution).
+    pub fn clear(&mut self) {
+        self.frames.fill(FrameState::Free);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_all_free() {
+        let ft = FrameTable::new(8);
+        assert_eq!(ft.len(), 8);
+        assert_eq!(ft.free_count(), 8);
+        assert_eq!(ft.find_free(), Some(PageIndex(0)));
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut ft = FrameTable::new(4);
+        let f = ft.find_free().unwrap();
+        let r = ft.install(f, ObjectId(2), 7);
+        assert_eq!(r.loaded_seq, 0);
+        assert_eq!(ft.frame_of(ObjectId(2), 7), Some(f));
+        assert_eq!(ft.frame_of(ObjectId(2), 8), None);
+        assert_eq!(ft.free_count(), 3);
+        assert_eq!(ft.residents().len(), 1);
+    }
+
+    #[test]
+    fn sequence_increases_per_install() {
+        let mut ft = FrameTable::new(4);
+        let a = ft.install(PageIndex(0), ObjectId(0), 0);
+        let b = ft.install(PageIndex(1), ObjectId(0), 1);
+        assert!(b.loaded_seq > a.loaded_seq);
+    }
+
+    #[test]
+    fn evict_frees() {
+        let mut ft = FrameTable::new(2);
+        ft.install(PageIndex(1), ObjectId(0), 3);
+        let r = ft.evict(PageIndex(1)).unwrap();
+        assert_eq!(r.vpage, 3);
+        assert_eq!(ft.free_count(), 2);
+        assert_eq!(ft.evict(PageIndex(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-free frame")]
+    fn double_install_panics() {
+        let mut ft = FrameTable::new(2);
+        ft.install(PageIndex(0), ObjectId(0), 0);
+        ft.install(PageIndex(0), ObjectId(1), 0);
+    }
+
+    #[test]
+    fn params_reservation_lifecycle() {
+        let mut ft = FrameTable::new(2);
+        ft.reserve_params(PageIndex(0));
+        assert_eq!(ft.state(PageIndex(0)), FrameState::Params);
+        assert_eq!(ft.find_free(), Some(PageIndex(1)));
+        // Params frames are not evictable.
+        assert_eq!(ft.evict(PageIndex(0)), None);
+        assert_eq!(ft.state(PageIndex(0)), FrameState::Params);
+        assert!(ft.release_params(PageIndex(0)));
+        assert!(!ft.release_params(PageIndex(0)));
+        assert_eq!(ft.free_count(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ft = FrameTable::new(3);
+        ft.install(PageIndex(0), ObjectId(0), 0);
+        ft.reserve_params(PageIndex(1));
+        ft.clear();
+        assert_eq!(ft.free_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let _ = FrameTable::new(0);
+    }
+}

@@ -1,0 +1,1065 @@
+//! The Virtual Interface Manager itself.
+//!
+//! "The interface manager responds to the requests coming from the IMU.
+//! The OS determines the cause of the interrupt by examining the state of
+//! the IMU. There are two possible requests: *Page Fault* [...] and *End
+//! of Operation*." (Section 3.3.) [`Vim`] implements both services plus
+//! the setup performed by `FPGA_MAP_OBJECT` / `FPGA_EXECUTE`, and prices
+//! every action through the [`OsCostModel`] so the caller can split time
+//! into the paper's `SW (DP)` and `SW (IMU)` components.
+
+use std::collections::BTreeMap;
+
+use vcop_fabric::port::ObjectId;
+use vcop_imu::imu::{ElemSize, FaultCause, Imu};
+use vcop_imu::tlb::{TlbEntry, VirtualPage};
+use vcop_sim::mem::{DualPortRam, PageIndex, Port};
+use vcop_sim::stats::{Counters, TimeBuckets};
+use vcop_sim::time::SimTime;
+
+use crate::cost::OsCostModel;
+use crate::error::VimError;
+use crate::frames::{FrameState, FrameTable};
+use crate::object::{Direction, MapHints, MappedObject};
+use crate::policy::{FrameView, PolicyKind, ReplacementPolicy};
+use crate::prefetch::PrefetchMode;
+
+/// Static VIM configuration ("tuned to the hardware characteristics of
+/// the particular system; using the module on a system with a different
+/// size of the dual-port memory would require only recompiling the
+/// module").
+#[derive(Debug, Clone, Copy)]
+pub struct VimConfig {
+    /// Interface page size in bytes.
+    pub page_bytes: usize,
+    /// Number of physical frames in the dual-port RAM.
+    pub frame_count: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Prefetch strategy.
+    pub prefetch: PrefetchMode,
+    /// Skip the load copy for pages of pure-`OUT` objects (they carry no
+    /// data into the coprocessor). The prototype copies unconditionally.
+    pub skip_out_page_load: bool,
+    /// Preload mapped pages into free frames during `FPGA_EXECUTE`
+    /// ("FPGA_EXECUTE performs the mapping", Section 3.1) — this is why
+    /// the paper's 2 KB adpcmdecode run "completes without causing page
+    /// faults". Pages are installed round-robin across objects so
+    /// sequential kernels keep both inputs and outputs resident.
+    pub preload: bool,
+    /// Perform prefetch page copies *asynchronously*: the fault service
+    /// returns as soon as the demand page is in place, and the
+    /// speculative copies proceed on the CPU while the coprocessor runs
+    /// — the paper's announced future work of "overlapping of processor
+    /// and coprocessor execution" (Section 4.1). Requires a prefetch
+    /// mode other than [`PrefetchMode::None`] to have any effect.
+    pub overlap_prefetch: bool,
+}
+
+impl VimConfig {
+    /// Prototype configuration for a device geometry.
+    pub fn prototype(frame_count: usize, page_bytes: usize) -> Self {
+        VimConfig {
+            page_bytes,
+            frame_count,
+            policy: PolicyKind::Fifo,
+            prefetch: PrefetchMode::None,
+            skip_out_page_load: false,
+            preload: true,
+            overlap_prefetch: false,
+        }
+    }
+}
+
+/// Time a single OS service consumed, split into the paper's two software
+/// components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceTimes {
+    /// Dual-port RAM management: data transfers between user space and
+    /// the interface memory.
+    pub dp: SimTime,
+    /// IMU management: interrupt handling, fault decode, translation
+    /// table updates.
+    pub imu: SimTime,
+}
+
+impl ServiceTimes {
+    /// Sum of both components.
+    pub fn total(&self) -> SimTime {
+        self.dp + self.imu
+    }
+}
+
+/// Outcome of a fault service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultService {
+    /// Synchronous service time (the coprocessor stall).
+    pub times: ServiceTimes,
+    /// The faulting page is already being loaded asynchronously into
+    /// this frame (overlapped prefetch in flight). The caller must wait
+    /// for the pending install of that frame to mature, commit it with
+    /// [`Vim::commit_install`], and resume the IMU itself.
+    pub wait_for: Option<PageIndex>,
+}
+
+/// A speculative page install whose copy proceeds while the coprocessor
+/// runs. Returned by [`Vim::take_pending_installs`]; the platform
+/// harness schedules `cost` of CPU time and then calls
+/// [`Vim::commit_install`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingInstall {
+    /// Object whose page is loading.
+    pub obj: ObjectId,
+    /// Virtual page within the object.
+    pub vpage: u32,
+    /// Destination frame.
+    pub frame: PageIndex,
+    /// CPU time the copy takes.
+    pub cost: SimTime,
+}
+
+/// The Virtual Interface Manager.
+#[derive(Debug)]
+pub struct Vim {
+    config: VimConfig,
+    objects: BTreeMap<u8, MappedObject>,
+    frames: FrameTable,
+    policy: Box<dyn ReplacementPolicy>,
+    cost: OsCostModel,
+    counters: Counters,
+    times: TimeBuckets,
+    user_alloc_next: usize,
+    param_frame: Option<PageIndex>,
+    /// Pages whose data copy is in flight (overlapped prefetch): the
+    /// frame is occupied and its TLB entry written but still invalid.
+    loading: Vec<(ObjectId, u32, PageIndex)>,
+    /// Installs scheduled during the last fault service, to be drained
+    /// by the harness.
+    pending_out: Vec<PendingInstall>,
+}
+
+impl Vim {
+    /// Creates a VIM for the given geometry and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero frames or pages).
+    pub fn new(config: VimConfig, cost: OsCostModel) -> Self {
+        assert!(config.frame_count > 0, "VIM needs frames");
+        assert!(config.page_bytes > 0, "VIM needs a page size");
+        Vim {
+            frames: FrameTable::new(config.frame_count),
+            policy: config.policy.build(),
+            config,
+            objects: BTreeMap::new(),
+            cost,
+            counters: Counters::new(),
+            times: TimeBuckets::new(),
+            // Skip address 0 so object bases look like real user pointers.
+            user_alloc_next: 0x10000,
+            param_frame: None,
+            loading: Vec::new(),
+            pending_out: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &VimConfig {
+        &self.config
+    }
+
+    /// Event counters (`fault`, `page_load`, `page_writeback`,
+    /// `eviction`, `prefetch`, `param_freed`).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Accumulated service time buckets (`sw_dp`, `sw_imu`).
+    pub fn times(&self) -> &TimeBuckets {
+        &self.times
+    }
+
+    /// The mapped object `id`, if present.
+    pub fn object(&self, id: ObjectId) -> Option<&MappedObject> {
+        self.objects.get(&id.0)
+    }
+
+    /// Removes and returns object `id` (results retrieval after
+    /// end-of-operation service).
+    pub fn take_object(&mut self, id: ObjectId) -> Option<MappedObject> {
+        self.objects.remove(&id.0)
+    }
+
+    /// Implements `FPGA_MAP_OBJECT`: declares `data` as object `id` with
+    /// the given element size, direction and hints. Returns the syscall
+    /// service time.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the reserved id, duplicates, empty buffers, and lengths
+    /// that are not a multiple of the element size.
+    pub fn map_object(
+        &mut self,
+        id: ObjectId,
+        data: Vec<u8>,
+        elem: ElemSize,
+        direction: Direction,
+        hints: MapHints,
+    ) -> Result<SimTime, VimError> {
+        if id.is_param() {
+            return Err(VimError::ReservedObject);
+        }
+        if self.objects.contains_key(&id.0) {
+            return Err(VimError::DuplicateObject(id));
+        }
+        if data.is_empty() {
+            return Err(VimError::EmptyObject(id));
+        }
+        if !data.len().is_multiple_of(elem.bytes()) {
+            return Err(VimError::UnalignedObject(id));
+        }
+        let user_base = self.user_alloc_next;
+        self.user_alloc_next += data.len().next_multiple_of(64);
+        self.objects.insert(
+            id.0,
+            MappedObject::new(id, direction, elem, data, user_base, hints),
+        );
+        let t = self.cost.syscall_time();
+        self.times.add("sw_imu", t);
+        Ok(t)
+    }
+
+    /// Implements the setup half of `FPGA_EXECUTE`: programs object
+    /// layouts into the IMU, clears the translation state, writes the
+    /// scalar `params` into the parameter page and designates it.
+    /// Returns the setup service time. The caller then asserts
+    /// `CR.start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VimError::TooManyParams`] if `params` exceeds one page.
+    pub fn prepare_execute(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        params: &[u32],
+    ) -> Result<SimTime, VimError> {
+        let capacity = self.config.page_bytes / 4;
+        if params.len() > capacity {
+            return Err(VimError::TooManyParams {
+                requested: params.len(),
+                capacity,
+            });
+        }
+        self.frames.clear();
+        self.loading.clear();
+        self.pending_out.clear();
+        imu.tlb_mut().invalidate_all();
+        imu.clear_object_layouts();
+        for o in self.objects.values() {
+            imu.set_object_layout(o.id(), o.elem());
+        }
+        let pframe = PageIndex(0);
+        self.frames.reserve_params(pframe);
+        self.param_frame = Some(pframe);
+        let base = pframe.0 * self.config.page_bytes;
+        for (i, &w) in params.iter().enumerate() {
+            dpram
+                .write_word(Port::Cpu, base + i * 4, w)
+                .expect("parameter page is in range");
+        }
+        imu.set_param_frame(pframe);
+
+        // Perform the initial mapping: install pages into the free
+        // frames, round-robin across objects by ascending virtual page,
+        // until the interface memory is full. Demand paging covers the
+        // rest.
+        let mut preload_times = ServiceTimes::default();
+        if self.config.preload {
+            let plan: Vec<(ObjectId, u32)> = {
+                let ids: Vec<(ObjectId, u32)> = self
+                    .objects
+                    .values()
+                    .map(|o| (o.id(), o.page_count(self.config.page_bytes)))
+                    .collect();
+                let max_pages = ids.iter().map(|&(_, p)| p).max().unwrap_or(0);
+                (0..max_pages)
+                    .flat_map(|vp| {
+                        ids.iter()
+                            .filter(move |&&(_, pages)| vp < pages)
+                            .map(move |&(id, _)| (id, vp))
+                    })
+                    .collect()
+            };
+            for (obj, vpage) in plan {
+                let Some(frame) = self.frames.find_free() else {
+                    break;
+                };
+                self.install_page(obj, vpage, frame, imu, dpram, &mut preload_times);
+            }
+        }
+
+        let t = self.cost.syscall_time()
+            + self.cost.param_setup_time(params.len())
+            + preload_times.total();
+        self.times
+            .add("sw_imu", self.cost.syscall_time() + preload_times.imu);
+        self.times.add(
+            "sw_dp",
+            self.cost.param_setup_time(params.len()) + preload_times.dp,
+        );
+        Ok(t)
+    }
+
+    /// Releases the parameter frame if the coprocessor has invalidated
+    /// the parameter page since the last service.
+    fn reap_param_frame(&mut self, imu: &Imu) {
+        if imu.param_frame().is_none() {
+            if let Some(f) = self.param_frame.take() {
+                self.frames.release_params(f);
+                self.counters.incr("param_freed");
+            }
+        }
+    }
+
+    fn frame_views(&self, imu: &Imu) -> Vec<FrameView> {
+        self.frames
+            .residents()
+            .into_iter()
+            .map(|(frame, r)| {
+                let usage = imu.tlb().usage(frame.0);
+                let sticky = self
+                    .objects
+                    .get(&r.obj.0)
+                    .map(|o| o.hints().sticky)
+                    .unwrap_or(false);
+                FrameView {
+                    frame: frame.0,
+                    loaded_seq: r.loaded_seq,
+                    accesses: usage.accesses,
+                    last_access: usage.last_access,
+                    sticky,
+                }
+            })
+            .collect()
+    }
+
+    /// Copies page `vpage` of object `obj` from user space into `frame`,
+    /// returning the transfer time (zero if the load is skipped for a
+    /// pure-`OUT` object).
+    fn load_page(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        frame: PageIndex,
+        dpram: &mut DualPortRam,
+    ) -> SimTime {
+        let o = self.objects.get(&obj.0).expect("validated by caller");
+        let (start, end) = o
+            .page_range(vpage, self.config.page_bytes)
+            .expect("validated by caller");
+        let bytes = end - start;
+        let skip = self.config.skip_out_page_load && !o.direction().loads();
+        if skip {
+            return SimTime::ZERO;
+        }
+        let user_addr = o.user_base() + start;
+        let slice = o.data()[start..end].to_vec();
+        dpram
+            .write_slice(Port::Cpu, frame.0 * self.config.page_bytes, &slice)
+            .expect("frame address in range");
+        self.counters.incr("page_load");
+        self.cost.page_move_time(user_addr, bytes)
+    }
+
+    /// Copies `frame` back into page `vpage` of object `obj`, returning
+    /// the transfer time.
+    fn writeback_page(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        frame: PageIndex,
+        dpram: &mut DualPortRam,
+    ) -> SimTime {
+        let page_bytes = self.config.page_bytes;
+        let o = self
+            .objects
+            .get_mut(&obj.0)
+            .expect("resident object exists");
+        let (start, end) = o
+            .page_range(vpage, page_bytes)
+            .expect("resident page is in range");
+        let bytes = end - start;
+        let user_addr = o.user_base() + start;
+        let mut buf = vec![0u8; bytes];
+        dpram
+            .read_slice(Port::Cpu, frame.0 * page_bytes, &mut buf)
+            .expect("frame address in range");
+        o.data_mut()[start..end].copy_from_slice(&buf);
+        self.counters.incr("page_writeback");
+        self.cost.page_move_time(user_addr, bytes)
+    }
+
+    /// Allocates a frame for a new page, evicting (and writing back a
+    /// dirty victim) if necessary.
+    fn allocate_frame(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        out: &mut ServiceTimes,
+    ) -> Result<PageIndex, VimError> {
+        if let Some(f) = self.frames.find_free() {
+            return Ok(f);
+        }
+        let views = self.frame_views(imu);
+        if views.is_empty() {
+            return Err(VimError::NoFrameAvailable);
+        }
+        let victim = PageIndex(self.policy.choose_victim(&views));
+        let resident = match self.frames.state(victim) {
+            FrameState::Resident(r) => r,
+            _ => return Err(VimError::NoFrameAvailable),
+        };
+        // The TLB entry for a frame lives at the same index (one entry
+        // per frame; see vcop-imu::tlb).
+        if imu.tlb().entry(victim.0).dirty {
+            out.dp += self.writeback_page(resident.obj, resident.vpage, victim, dpram);
+        }
+        imu.tlb_mut().invalidate(victim.0);
+        out.imu += self.cost.tlb_update_time();
+        self.frames.evict(victim);
+        self.loading.retain(|&(_, _, f)| f != victim);
+        self.policy.on_evict(resident.obj, resident.vpage);
+        self.counters.incr("eviction");
+        Ok(victim)
+    }
+
+    /// Allocates a frame for a speculative load: a free frame if one
+    /// exists, otherwise a *clean* policy-chosen victim (never `protect`,
+    /// the frame of the demand page just installed). Returns `None` when
+    /// speculation would cost a write-back.
+    fn allocate_prefetch_frame(
+        &mut self,
+        imu: &mut Imu,
+        protect: PageIndex,
+        out: &mut ServiceTimes,
+    ) -> Option<PageIndex> {
+        if let Some(f) = self.frames.find_free() {
+            return Some(f);
+        }
+        let views: Vec<FrameView> = self
+            .frame_views(imu)
+            .into_iter()
+            .filter(|v| v.frame != protect.0 && !imu.tlb().entry(v.frame).dirty)
+            .collect();
+        if views.is_empty() {
+            return None;
+        }
+        let victim = PageIndex(self.policy.choose_victim(&views));
+        imu.tlb_mut().invalidate(victim.0);
+        out.imu += self.cost.tlb_update_time();
+        if let Some(r) = self.frames.evict(victim) {
+            self.policy.on_evict(r.obj, r.vpage);
+        }
+        self.loading.retain(|&(_, _, f)| f != victim);
+        self.counters.incr("eviction");
+        Some(victim)
+    }
+
+    /// Installs page `vpage` of `obj` into `frame`: loads the data and
+    /// writes the TLB entry.
+    fn install_page(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        frame: PageIndex,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        out: &mut ServiceTimes,
+    ) {
+        out.dp += self.load_page(obj, vpage, frame, dpram);
+        self.frames.install(frame, obj, vpage);
+        imu.tlb_mut().set_entry(
+            frame.0,
+            TlbEntry {
+                valid: true,
+                dirty: false,
+                vpage: VirtualPage { obj, page: vpage },
+                frame,
+            },
+        );
+        out.imu += self.cost.tlb_update_time();
+        self.policy.on_load(frame.0);
+    }
+
+    /// Installs page `vpage` of `obj` into `frame` with the data copy
+    /// proceeding in the background: the frame is occupied and the TLB
+    /// entry written *invalid*; the copy cost goes to the `sw_dp` bucket
+    /// but not to the synchronous stall. The entry becomes valid when
+    /// the harness calls [`Vim::commit_install`].
+    fn install_page_async(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        frame: PageIndex,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        out: &mut ServiceTimes,
+    ) {
+        // Data is written to the dual-port RAM immediately (the model
+        // has no torn reads to worry about: the TLB entry stays invalid
+        // until commit, so the coprocessor cannot observe the page).
+        let cost = self.load_page(obj, vpage, frame, dpram);
+        self.times.add("sw_dp", cost);
+        self.frames.install(frame, obj, vpage);
+        imu.tlb_mut().set_entry(
+            frame.0,
+            TlbEntry {
+                valid: false,
+                dirty: false,
+                vpage: VirtualPage { obj, page: vpage },
+                frame,
+            },
+        );
+        out.imu += self.cost.tlb_update_time();
+        self.loading.push((obj, vpage, frame));
+        self.pending_out.push(PendingInstall {
+            obj,
+            vpage,
+            frame,
+            cost,
+        });
+        self.policy.on_load(frame.0);
+    }
+
+    /// Drains the installs scheduled by the last fault service.
+    pub fn take_pending_installs(&mut self) -> Vec<PendingInstall> {
+        std::mem::take(&mut self.pending_out)
+    }
+
+    /// Marks a matured asynchronous install valid. Returns `false` (and
+    /// does nothing) if the frame was evicted or repurposed while the
+    /// copy was in flight.
+    pub fn commit_install(&mut self, imu: &mut Imu, install: &PendingInstall) -> bool {
+        let still_loading = self
+            .loading
+            .iter()
+            .position(|&(o, vp, f)| o == install.obj && vp == install.vpage && f == install.frame);
+        let Some(pos) = still_loading else {
+            return false;
+        };
+        match self.frames.state(install.frame) {
+            FrameState::Resident(r) if r.obj == install.obj && r.vpage == install.vpage => {}
+            _ => {
+                self.loading.remove(pos);
+                return false;
+            }
+        }
+        self.loading.remove(pos);
+        imu.tlb_mut().set_entry(
+            install.frame.0,
+            TlbEntry {
+                valid: true,
+                dirty: false,
+                vpage: VirtualPage {
+                    obj: install.obj,
+                    page: install.vpage,
+                },
+                frame: install.frame,
+            },
+        );
+        self.counters.incr("install_committed");
+        true
+    }
+
+    /// Services a translation fault: the *Page Fault* request of
+    /// Section 3.3. Repairs the mapping (evicting and writing back if
+    /// needed), optionally prefetches, and resumes the IMU.
+    ///
+    /// # Errors
+    ///
+    /// [`VimError::NoFaultPending`] if the IMU reports no fault;
+    /// [`VimError::UnknownObject`] / [`VimError::OutOfBounds`] /
+    /// [`VimError::ParamPageGone`] for coprocessor protocol violations
+    /// (the real driver would kill the process).
+    pub fn service_fault(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+    ) -> Result<FaultService, VimError> {
+        if !imu.status().fault {
+            return Err(VimError::NoFaultPending);
+        }
+        let mut out = ServiceTimes {
+            imu: self.cost.fault_entry_time(),
+            ..Default::default()
+        };
+        self.counters.incr("fault");
+        self.reap_param_frame(imu);
+
+        let cause = imu.fault_cause().expect("fault status implies cause");
+        match cause {
+            FaultCause::UnknownObject { obj } => return Err(VimError::UnknownObject(obj)),
+            FaultCause::ParamPageGone => return Err(VimError::ParamPageGone),
+            FaultCause::TlbMiss { vpage, .. } => {
+                let o = self
+                    .objects
+                    .get(&vpage.obj.0)
+                    .ok_or(VimError::UnknownObject(vpage.obj))?;
+                let pages = o.page_count(self.config.page_bytes);
+                let sequential = o.hints().sequential;
+                if vpage.page >= pages {
+                    return Err(VimError::OutOfBounds {
+                        obj: vpage.obj,
+                        vpage: vpage.page,
+                        pages,
+                    });
+                }
+                self.policy.on_fault(vpage.obj, vpage.page);
+
+                // An overlapped prefetch of exactly this page may still
+                // be in flight: the caller waits for it rather than
+                // copying twice.
+                if let Some(&(_, _, frame)) = self
+                    .loading
+                    .iter()
+                    .find(|&&(o, vp, _)| o == vpage.obj && vp == vpage.page)
+                {
+                    self.counters.incr("fault_on_loading");
+                    self.times.add("sw_imu", out.imu);
+                    return Ok(FaultService {
+                        times: out,
+                        wait_for: Some(frame),
+                    });
+                }
+
+                let frame = self.allocate_frame(imu, dpram, &mut out)?;
+                self.install_page(vpage.obj, vpage.page, frame, imu, dpram, &mut out);
+
+                // Speculative loads: free frames first, then clean
+                // victims chosen by the policy — never the page just
+                // installed, and never at the price of a write-back.
+                for target in self.config.prefetch.targets(vpage.page, pages, sequential) {
+                    if self.frames.frame_of(vpage.obj, target).is_some() {
+                        continue;
+                    }
+                    let Some(slot) = self.allocate_prefetch_frame(imu, frame, &mut out) else {
+                        break;
+                    };
+                    if self.config.overlap_prefetch {
+                        self.install_page_async(vpage.obj, target, slot, imu, dpram, &mut out);
+                    } else {
+                        self.install_page(vpage.obj, target, slot, imu, dpram, &mut out);
+                    }
+                    self.counters.incr("prefetch");
+                }
+            }
+        }
+
+        imu.resume();
+        out.imu += self.cost.resume_time();
+        self.times.add("sw_dp", out.dp);
+        self.times.add("sw_imu", out.imu);
+        Ok(FaultService {
+            times: out,
+            wait_for: None,
+        })
+    }
+
+    /// Services end of operation: "the interface manager copies back to
+    /// user space all the dirty data currently residing in the dual-port
+    /// memory" (Section 3.3), releases the frames and acknowledges the
+    /// IMU so the coprocessor "should be ready and waiting for new
+    /// execution".
+    ///
+    /// # Errors
+    ///
+    /// [`VimError::NotDone`] if the IMU does not report completion.
+    pub fn service_done(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+    ) -> Result<ServiceTimes, VimError> {
+        if !imu.status().done {
+            return Err(VimError::NotDone);
+        }
+        let mut out = ServiceTimes {
+            imu: self.cost.done_service_time(),
+            ..Default::default()
+        };
+        self.reap_param_frame(imu);
+        for (frame, resident) in self.frames.residents() {
+            if imu.tlb().entry(frame.0).dirty {
+                out.dp += self.writeback_page(resident.obj, resident.vpage, frame, dpram);
+            }
+            imu.tlb_mut().invalidate(frame.0);
+            self.frames.evict(frame);
+        }
+        self.loading.clear();
+        self.pending_out.clear();
+        imu.clear_done();
+        self.times.add("sw_dp", out.dp);
+        self.times.add("sw_imu", out.imu);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcop_fabric::port::CoprocessorPort;
+    use vcop_fabric::port::PortLink;
+    use vcop_imu::imu::ImuConfig;
+    use vcop_imu::registers::ControlRegister;
+    use vcop_sim::trace::TraceSink;
+
+    const PAGE: usize = 2048;
+    const FRAMES: usize = 8;
+
+    struct Rig {
+        vim: Vim,
+        imu: Imu,
+        dpram: DualPortRam,
+        port: CoprocessorPort,
+        sink: TraceSink,
+        now: SimTime,
+    }
+
+    impl Rig {
+        fn new(config: VimConfig) -> Self {
+            Rig {
+                vim: Vim::new(config, OsCostModel::epxa1()),
+                imu: Imu::new(ImuConfig::prototype(FRAMES, PAGE)),
+                dpram: DualPortRam::new(FRAMES * PAGE, PAGE).expect("valid"),
+                port: CoprocessorPort::new(1),
+                sink: TraceSink::disabled(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn prototype() -> Self {
+            Rig::new(VimConfig::prototype(FRAMES, PAGE))
+        }
+
+        fn start(&mut self) {
+            let mut link = PortLink::new(&mut self.port);
+            self.imu.write_control(
+                ControlRegister {
+                    start: true,
+                    ..Default::default()
+                },
+                &mut link,
+            );
+        }
+
+        fn step(&mut self) -> Option<vcop_imu::imu::ImuEvent> {
+            let mut link = PortLink::new(&mut self.port);
+            let ev = self
+                .imu
+                .step(self.now, &mut link, &mut self.dpram, &mut self.sink);
+            self.now += SimTime::from_ns(25);
+            ev
+        }
+
+        fn step_until_fault(&mut self, max: usize) {
+            for _ in 0..max {
+                if self.step() == Some(vcop_imu::imu::ImuEvent::Fault) {
+                    return;
+                }
+            }
+            panic!("no fault within {max} edges");
+        }
+
+        fn step_until_complete(&mut self, max: usize) -> u32 {
+            for _ in 0..max {
+                self.step();
+                if let Some(done) = self.port.take_completed() {
+                    return done.data;
+                }
+            }
+            panic!("no completion within {max} edges");
+        }
+
+        fn map(&mut self, id: u8, data: Vec<u8>, dir: Direction) {
+            self.vim
+                .map_object(ObjectId(id), data, ElemSize::U32, dir, MapHints::default())
+                .expect("map");
+        }
+    }
+
+    fn patterned(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31) ^ seed)
+            .collect()
+    }
+
+    #[test]
+    fn map_object_validation() {
+        let mut rig = Rig::prototype();
+        assert!(matches!(
+            rig.vim.map_object(
+                ObjectId::PARAM,
+                vec![0; 4],
+                ElemSize::U32,
+                Direction::In,
+                MapHints::default()
+            ),
+            Err(VimError::ReservedObject)
+        ));
+        assert!(matches!(
+            rig.vim.map_object(
+                ObjectId(0),
+                vec![],
+                ElemSize::U32,
+                Direction::In,
+                MapHints::default()
+            ),
+            Err(VimError::EmptyObject(_))
+        ));
+        assert!(matches!(
+            rig.vim.map_object(
+                ObjectId(0),
+                vec![0; 5],
+                ElemSize::U32,
+                Direction::In,
+                MapHints::default()
+            ),
+            Err(VimError::UnalignedObject(_))
+        ));
+        rig.map(0, vec![0; 8], Direction::In);
+        assert!(matches!(
+            rig.vim.map_object(
+                ObjectId(0),
+                vec![0; 8],
+                ElemSize::U32,
+                Direction::In,
+                MapHints::default()
+            ),
+            Err(VimError::DuplicateObject(_))
+        ));
+        // Distinct user bases per object.
+        rig.map(1, vec![0; 8], Direction::In);
+        let a = rig.vim.object(ObjectId(0)).unwrap().user_base();
+        let b = rig.vim.object(ObjectId(1)).unwrap().user_base();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prepare_stages_params_and_preloads() {
+        let mut rig = Rig::prototype();
+        rig.map(0, patterned(PAGE, 1), Direction::In);
+        rig.map(1, patterned(2 * PAGE, 2), Direction::Out);
+        let t = rig
+            .vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[7, 9])
+            .unwrap();
+        assert!(t > SimTime::ZERO);
+        // Params live in frame 0.
+        assert_eq!(rig.dpram.read_word(Port::Cpu, 0).unwrap(), 7);
+        assert_eq!(rig.dpram.read_word(Port::Cpu, 4).unwrap(), 9);
+        assert_eq!(rig.imu.param_frame(), Some(PageIndex(0)));
+        // All three data pages preloaded (round-robin: obj0 p0, obj1 p0, obj1 p1).
+        assert_eq!(rig.vim.counters().get("page_load"), 3);
+        assert_eq!(rig.imu.tlb().valid_indices().len(), 3);
+        // Input page content actually copied.
+        assert_eq!(
+            rig.dpram.read_byte(Port::Cpu, PAGE).unwrap(),
+            patterned(PAGE, 1)[0]
+        );
+    }
+
+    #[test]
+    fn too_many_params_rejected() {
+        let mut rig = Rig::prototype();
+        let params = vec![0u32; PAGE / 4 + 1];
+        assert!(matches!(
+            rig.vim
+                .prepare_execute(&mut rig.imu, &mut rig.dpram, &params),
+            Err(VimError::TooManyParams { .. })
+        ));
+    }
+
+    #[test]
+    fn service_fault_requires_fault() {
+        let mut rig = Rig::prototype();
+        assert!(matches!(
+            rig.vim.service_fault(&mut rig.imu, &mut rig.dpram),
+            Err(VimError::NoFaultPending)
+        ));
+        assert!(matches!(
+            rig.vim.service_done(&mut rig.imu, &mut rig.dpram),
+            Err(VimError::NotDone)
+        ));
+    }
+
+    #[test]
+    fn demand_fault_installs_and_resumes() {
+        let mut rig = Rig::new(VimConfig {
+            preload: false,
+            ..VimConfig::prototype(FRAMES, PAGE)
+        });
+        let data = patterned(2 * PAGE, 3);
+        rig.map(0, data.clone(), Direction::In);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        rig.start();
+        // Element 600 lives in virtual page 1 (byte 2400).
+        rig.port.issue_read(ObjectId(0), 600);
+        rig.step_until_fault(16);
+        let svc = rig.vim.service_fault(&mut rig.imu, &mut rig.dpram).unwrap();
+        assert!(svc.times.dp > SimTime::ZERO, "a page copy happened");
+        assert!(
+            svc.times.imu > SimTime::ZERO,
+            "decode + TLB update happened"
+        );
+        assert_eq!(svc.wait_for, None);
+        let got = rig.step_until_complete(16);
+        let expect = u32::from_le_bytes(data[2400..2404].try_into().unwrap());
+        assert_eq!(got, expect);
+        assert_eq!(rig.vim.counters().get("fault"), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_focused() {
+        // Object spans 9 pages but only 8 frames exist (param page is
+        // reaped after param_done; here no params are read, so 7 data
+        // frames + param frame reserved).
+        let mut rig = Rig::new(VimConfig {
+            preload: false,
+            ..VimConfig::prototype(FRAMES, PAGE)
+        });
+        rig.map(0, vec![0u8; 9 * PAGE], Direction::InOut);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        rig.start();
+        let elems_per_page = (PAGE / 4) as u32;
+
+        // Dirty page 0.
+        rig.port.issue_write(ObjectId(0), 5, 0xAB);
+        rig.step_until_fault(16);
+        rig.vim.service_fault(&mut rig.imu, &mut rig.dpram).unwrap();
+        rig.step_until_complete(16);
+
+        // Touch pages 1..7 (fills the 7 allocatable frames).
+        for vp in 1..7u32 {
+            rig.port.issue_read(ObjectId(0), vp * elems_per_page);
+            rig.step_until_fault(16);
+            rig.vim.service_fault(&mut rig.imu, &mut rig.dpram).unwrap();
+            rig.step_until_complete(16);
+        }
+        assert_eq!(rig.vim.counters().get("eviction"), 0);
+
+        // Page 7 faults: FIFO evicts dirty page 0 → write-back.
+        rig.port.issue_read(ObjectId(0), 7 * elems_per_page);
+        rig.step_until_fault(16);
+        rig.vim.service_fault(&mut rig.imu, &mut rig.dpram).unwrap();
+        rig.step_until_complete(16);
+        assert_eq!(rig.vim.counters().get("eviction"), 1);
+        assert_eq!(rig.vim.counters().get("page_writeback"), 1);
+        let buf = rig.vim.object(ObjectId(0)).unwrap().data();
+        assert_eq!(buf[20], 0xAB, "dirty data reached the user buffer");
+    }
+
+    #[test]
+    fn done_service_writes_back_all_dirty() {
+        let mut rig = Rig::prototype();
+        rig.map(0, vec![0u8; PAGE], Direction::Out);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        rig.start();
+        rig.port.issue_write(ObjectId(0), 0, 0xDEAD_BEEF);
+        rig.step_until_complete(16); // preloaded → no fault
+        rig.port.finish();
+        let mut done = false;
+        for _ in 0..4 {
+            if rig.step() == Some(vcop_imu::imu::ImuEvent::Done) {
+                done = true;
+                break;
+            }
+        }
+        assert!(done);
+        let svc = rig.vim.service_done(&mut rig.imu, &mut rig.dpram).unwrap();
+        assert!(svc.dp > SimTime::ZERO);
+        assert!(!rig.imu.status().done);
+        let buf = rig.vim.take_object(ObjectId(0)).unwrap().into_data();
+        assert_eq!(&buf[0..4], &0xDEAD_BEEFu32.to_le_bytes());
+        assert_eq!(rig.vim.counters().get("page_writeback"), 1);
+    }
+
+    #[test]
+    fn skip_out_page_load_saves_copies() {
+        let mk = |skip: bool| {
+            let mut rig = Rig::new(VimConfig {
+                skip_out_page_load: skip,
+                ..VimConfig::prototype(FRAMES, PAGE)
+            });
+            rig.map(0, vec![0u8; 4 * PAGE], Direction::Out);
+            rig.vim
+                .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+                .unwrap();
+            (
+                rig.vim.counters().get("page_load"),
+                rig.vim.times().get("sw_dp"),
+            )
+        };
+        let (loads_copy, t_copy) = mk(false);
+        let (loads_skip, t_skip) = mk(true);
+        assert_eq!(loads_copy, 4);
+        assert_eq!(loads_skip, 0);
+        assert!(t_skip < t_copy);
+    }
+
+    #[test]
+    fn param_frame_reaped_after_coprocessor_frees_it() {
+        let mut rig = Rig::new(VimConfig {
+            preload: false,
+            ..VimConfig::prototype(FRAMES, PAGE)
+        });
+        rig.map(0, vec![0u8; PAGE], Direction::In);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[42])
+            .unwrap();
+        rig.start();
+        // Coprocessor reads the param, then invalidates the page.
+        rig.port.issue_read(ObjectId::PARAM, 0);
+        assert_eq!(rig.step_until_complete(16), 42);
+        rig.port.param_done();
+        rig.step();
+        // Next fault reaps the parameter frame back into the pool.
+        rig.port.issue_read(ObjectId(0), 0);
+        rig.step_until_fault(16);
+        rig.vim.service_fault(&mut rig.imu, &mut rig.dpram).unwrap();
+        assert_eq!(rig.vim.counters().get("param_freed"), 1);
+        rig.step_until_complete(16);
+    }
+
+    #[test]
+    fn preload_skips_when_disabled() {
+        let mut rig = Rig::new(VimConfig {
+            preload: false,
+            ..VimConfig::prototype(FRAMES, PAGE)
+        });
+        rig.map(0, vec![0u8; 4 * PAGE], Direction::In);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        assert_eq!(rig.vim.counters().get("page_load"), 0);
+        assert!(rig.imu.tlb().valid_indices().is_empty());
+    }
+
+    #[test]
+    fn service_times_accumulate_in_buckets() {
+        let mut rig = Rig::prototype();
+        rig.map(0, patterned(PAGE, 0), Direction::In);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[1])
+            .unwrap();
+        let dp = rig.vim.times().get("sw_dp");
+        let imu_t = rig.vim.times().get("sw_imu");
+        assert!(dp > SimTime::ZERO, "preload copies accounted");
+        assert!(imu_t > SimTime::ZERO, "syscall + TLB updates accounted");
+    }
+}

@@ -1,0 +1,216 @@
+//! Mapped interface objects.
+//!
+//! `FPGA_MAP_OBJECT` "allocates the data used by the coprocessor", taking
+//! an object identifier, a pointer to the data, the data size, and
+//! "optionally some flags used for optimisation purposes" (Section 3.1).
+//! A mapped object is the unit of the software/hardware designer
+//! agreement: the coprocessor addresses it by id and element index; the
+//! VIM owns its user-space buffer and demand-pages it into the interface
+//! memory.
+
+use core::fmt;
+
+use vcop_fabric::port::ObjectId;
+use vcop_imu::imu::ElemSize;
+
+/// Transfer direction of a mapped object, from the coprocessor's point
+/// of view (the paper's `IN`/`OUT` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The coprocessor only reads the object.
+    In,
+    /// The coprocessor only writes the object.
+    Out,
+    /// The coprocessor both reads and writes the object.
+    InOut,
+}
+
+impl Direction {
+    /// Whether pages of this object carry meaningful data *into* the
+    /// coprocessor (and must be loaded from user space).
+    pub fn loads(self) -> bool {
+        matches!(self, Direction::In | Direction::InOut)
+    }
+
+    /// Whether pages of this object can become dirty and must be copied
+    /// back.
+    pub fn stores(self) -> bool {
+        matches!(self, Direction::Out | Direction::InOut)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::In => write!(f, "IN"),
+            Direction::Out => write!(f, "OUT"),
+            Direction::InOut => write!(f, "INOUT"),
+        }
+    }
+}
+
+/// Optimisation hints passed with `FPGA_MAP_OBJECT` (Section 3.3
+/// envisions "optimisation hints passed as parameters to the OS
+/// services").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MapHints {
+    /// The coprocessor will access this object sequentially — a good
+    /// prefetch candidate.
+    pub sequential: bool,
+    /// Avoid evicting this object's pages while others are available.
+    pub sticky: bool,
+}
+
+/// A user buffer made visible to the coprocessor under an object id.
+#[derive(Debug, Clone)]
+pub struct MappedObject {
+    id: ObjectId,
+    direction: Direction,
+    elem: ElemSize,
+    data: Vec<u8>,
+    user_base: usize,
+    hints: MapHints,
+}
+
+impl MappedObject {
+    /// Creates a mapped object.
+    ///
+    /// `user_base` is the simulated user-space (SDRAM) address of the
+    /// buffer, used only by the transfer cost model.
+    pub(crate) fn new(
+        id: ObjectId,
+        direction: Direction,
+        elem: ElemSize,
+        data: Vec<u8>,
+        user_base: usize,
+        hints: MapHints,
+    ) -> Self {
+        MappedObject {
+            id,
+            direction,
+            elem,
+            data,
+            user_base,
+            hints,
+        }
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The declared direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The element size the coprocessor indexes with.
+    pub fn elem(&self) -> ElemSize {
+        self.elem
+    }
+
+    /// The user-space buffer.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the user-space buffer (the VIM writes dirty
+    /// pages back here).
+    pub(crate) fn data_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+
+    /// Consumes the object, returning its buffer (results retrieval).
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Byte length of the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty (never true for a validated mapping).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Simulated user-space base address.
+    pub fn user_base(&self) -> usize {
+        self.user_base
+    }
+
+    /// Optimisation hints.
+    pub fn hints(&self) -> MapHints {
+        self.hints
+    }
+
+    /// Number of interface pages the object spans for a given page size.
+    pub fn page_count(&self, page_bytes: usize) -> u32 {
+        (self.data.len().div_ceil(page_bytes)) as u32
+    }
+
+    /// Byte range `[start, end)` of virtual page `vpage` within the
+    /// buffer, clipped to the buffer length. Returns `None` if the page
+    /// is entirely out of range.
+    pub fn page_range(&self, vpage: u32, page_bytes: usize) -> Option<(usize, usize)> {
+        let start = vpage as usize * page_bytes;
+        if start >= self.data.len() {
+            return None;
+        }
+        let end = (start + page_bytes).min(self.data.len());
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(len: usize) -> MappedObject {
+        MappedObject::new(
+            ObjectId(0),
+            Direction::In,
+            ElemSize::U16,
+            vec![0u8; len],
+            0x1000,
+            MapHints::default(),
+        )
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(Direction::In.loads() && !Direction::In.stores());
+        assert!(!Direction::Out.loads() && Direction::Out.stores());
+        assert!(Direction::InOut.loads() && Direction::InOut.stores());
+        assert_eq!(Direction::InOut.to_string(), "INOUT");
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        assert_eq!(obj(2048).page_count(2048), 1);
+        assert_eq!(obj(2049).page_count(2048), 2);
+        assert_eq!(obj(8192).page_count(2048), 4);
+    }
+
+    #[test]
+    fn page_range_clips_tail() {
+        let o = obj(5000);
+        assert_eq!(o.page_range(0, 2048), Some((0, 2048)));
+        assert_eq!(o.page_range(1, 2048), Some((2048, 4096)));
+        assert_eq!(o.page_range(2, 2048), Some((4096, 5000)));
+        assert_eq!(o.page_range(3, 2048), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let o = obj(100);
+        assert_eq!(o.id(), ObjectId(0));
+        assert_eq!(o.elem(), ElemSize::U16);
+        assert_eq!(o.len(), 100);
+        assert!(!o.is_empty());
+        assert_eq!(o.user_base(), 0x1000);
+        assert_eq!(o.into_data().len(), 100);
+    }
+}

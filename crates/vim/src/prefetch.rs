@@ -1,0 +1,77 @@
+//! Page prefetching.
+//!
+//! "Also, speculative actions as prefetching could be used in order to
+//! avoid translation misses." (Section 3.3.) The VIM consults a
+//! [`PrefetchMode`] after every demand load; prefetches only ever consume
+//! *free* frames — they never evict, so a bad guess costs bus time but no
+//! resident page.
+
+/// Prefetch strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrefetchMode {
+    /// No speculation (the prototype).
+    #[default]
+    None,
+    /// After loading page `p` of an object, also load `p+1 … p+degree`
+    /// while free frames last.
+    NextPage {
+        /// How many pages ahead to fetch.
+        degree: u32,
+    },
+    /// Like `NextPage` with degree 1, but only for objects mapped with
+    /// the `sequential` hint.
+    HintedOnly,
+}
+
+impl PrefetchMode {
+    /// Virtual pages to speculatively load after a demand load of
+    /// `vpage`, given the object's page count and `sequential` hint.
+    pub fn targets(self, vpage: u32, object_pages: u32, sequential_hint: bool) -> Vec<u32> {
+        let degree = match self {
+            PrefetchMode::None => 0,
+            PrefetchMode::NextPage { degree } => degree,
+            PrefetchMode::HintedOnly => u32::from(sequential_hint),
+        };
+        (1..=degree)
+            .map(|d| vpage.saturating_add(d))
+            .filter(|&p| p < object_pages)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_prefetches_nothing() {
+        assert!(PrefetchMode::None.targets(0, 10, true).is_empty());
+    }
+
+    #[test]
+    fn next_page_respects_object_end() {
+        let m = PrefetchMode::NextPage { degree: 2 };
+        assert_eq!(m.targets(0, 10, false), vec![1, 2]);
+        assert_eq!(m.targets(8, 10, false), vec![9]);
+        assert_eq!(m.targets(9, 10, false), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn hinted_only_keys_off_hint() {
+        assert_eq!(PrefetchMode::HintedOnly.targets(3, 10, true), vec![4]);
+        assert!(PrefetchMode::HintedOnly.targets(3, 10, false).is_empty());
+    }
+
+    #[test]
+    fn degree_zero_is_none() {
+        assert!(PrefetchMode::NextPage { degree: 0 }
+            .targets(0, 10, true)
+            .is_empty());
+    }
+
+    #[test]
+    fn saturating_at_u32_max() {
+        let m = PrefetchMode::NextPage { degree: 2 };
+        assert!(m.targets(u32::MAX - 1, u32::MAX, false).is_empty());
+    }
+}

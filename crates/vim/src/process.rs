@@ -1,0 +1,256 @@
+//! Process sleep/wake model.
+//!
+//! "`FPGA_EXECUTE` [...] launches the coprocessor, and puts the calling
+//! process in an interruptible sleep mode" (Section 3.1). The scheduler
+//! model below tracks what the CPU does while the coprocessor runs: the
+//! caller sleeps, fault/done handlers run in interrupt context, and —
+//! the whole point of sleeping rather than busy-waiting — any *other*
+//! runnable process can use the CPU in between. The accounted
+//! "CPU made available" time is reported alongside the paper's time
+//! decomposition by the `vcop` harness.
+
+use core::fmt;
+
+use vcop_sim::time::SimTime;
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Eligible to run.
+    Runnable,
+    /// Blocked in `FPGA_EXECUTE` awaiting the end-of-operation interrupt.
+    Sleeping,
+}
+
+/// Identifier of a process within the [`MiniScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub usize);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Process {
+    name: String,
+    state: ProcState,
+    slept_at: Option<SimTime>,
+    total_sleep: SimTime,
+    wakeups: u64,
+}
+
+/// A minimal scheduler: enough state to account sleep intervals, wake-up
+/// counts, and the CPU time the sleeping caller makes available to other
+/// runnable work.
+///
+/// # Examples
+///
+/// ```
+/// use vcop_sim::time::SimTime;
+/// use vcop_vim::process::MiniScheduler;
+///
+/// let mut sched = MiniScheduler::new();
+/// let caller = sched.spawn("app");
+/// let _other = sched.spawn("background");
+/// sched.sleep(caller, SimTime::from_us(10));
+/// sched.wake(caller, SimTime::from_us(60));
+/// assert_eq!(sched.total_sleep(caller), SimTime::from_us(50));
+/// assert_eq!(sched.cpu_made_available(), SimTime::from_us(50));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MiniScheduler {
+    processes: Vec<Process>,
+    /// CPU time yielded to other runnable processes by sleepers.
+    cpu_available: SimTime,
+}
+
+impl MiniScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        MiniScheduler::default()
+    }
+
+    /// Registers a process in the runnable state.
+    pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
+        self.processes.push(Process {
+            name: name.into(),
+            state: ProcState::Runnable,
+            slept_at: None,
+            total_sleep: SimTime::ZERO,
+            wakeups: 0,
+        });
+        Pid(self.processes.len() - 1)
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// The process name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not produced by this scheduler.
+    pub fn name(&self, pid: Pid) -> &str {
+        &self.processes[pid.0].name
+    }
+
+    /// The process state.
+    pub fn state(&self, pid: Pid) -> ProcState {
+        self.processes[pid.0].state
+    }
+
+    /// Whether any process other than `pid` is runnable.
+    pub fn others_runnable(&self, pid: Pid) -> bool {
+        self.processes
+            .iter()
+            .enumerate()
+            .any(|(i, p)| i != pid.0 && p.state == ProcState::Runnable)
+    }
+
+    /// Puts `pid` into interruptible sleep at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is already sleeping (a kernel bug in a real
+    /// driver, so surfaced loudly here).
+    pub fn sleep(&mut self, pid: Pid, now: SimTime) {
+        let p = &mut self.processes[pid.0];
+        assert_eq!(p.state, ProcState::Runnable, "process {pid} slept twice");
+        p.state = ProcState::Sleeping;
+        p.slept_at = Some(now);
+    }
+
+    /// Wakes `pid` at instant `now`, accounting the sleep interval. If
+    /// other processes were runnable meanwhile, the interval counts as
+    /// CPU made available to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not sleeping or `now` precedes the sleep
+    /// instant.
+    pub fn wake(&mut self, pid: Pid, now: SimTime) {
+        let others = self.others_runnable(pid);
+        let p = &mut self.processes[pid.0];
+        assert_eq!(p.state, ProcState::Sleeping, "waking a runnable process");
+        let slept_at = p.slept_at.take().expect("sleeping implies a sleep instant");
+        assert!(now >= slept_at, "time went backwards across a sleep");
+        let interval = now - slept_at;
+        p.total_sleep += interval;
+        p.wakeups += 1;
+        p.state = ProcState::Runnable;
+        if others {
+            self.cpu_available += interval;
+        }
+    }
+
+    /// Total time `pid` has spent sleeping.
+    pub fn total_sleep(&self, pid: Pid) -> SimTime {
+        self.processes[pid.0].total_sleep
+    }
+
+    /// Times `pid` has been woken.
+    pub fn wakeups(&self, pid: Pid) -> u64 {
+        self.processes[pid.0].wakeups
+    }
+
+    /// CPU time sleepers made available to other runnable processes —
+    /// the benefit of sleeping in `FPGA_EXECUTE` instead of busy-waiting
+    /// on the coprocessor.
+    pub fn cpu_made_available(&self) -> SimTime {
+        self.cpu_available
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_wake_accounts_interval() {
+        let mut s = MiniScheduler::new();
+        let p = s.spawn("caller");
+        assert_eq!(s.state(p), ProcState::Runnable);
+        s.sleep(p, SimTime::from_us(5));
+        assert_eq!(s.state(p), ProcState::Sleeping);
+        s.wake(p, SimTime::from_us(25));
+        assert_eq!(s.total_sleep(p), SimTime::from_us(20));
+        assert_eq!(s.wakeups(p), 1);
+        assert_eq!(s.state(p), ProcState::Runnable);
+    }
+
+    #[test]
+    fn repeated_sleeps_accumulate() {
+        let mut s = MiniScheduler::new();
+        let p = s.spawn("caller");
+        for i in 0..3u64 {
+            s.sleep(p, SimTime::from_us(100 * i));
+            s.wake(p, SimTime::from_us(100 * i + 10));
+        }
+        assert_eq!(s.total_sleep(p), SimTime::from_us(30));
+        assert_eq!(s.wakeups(p), 3);
+    }
+
+    #[test]
+    fn cpu_availability_requires_other_runnables() {
+        let mut lone = MiniScheduler::new();
+        let p = lone.spawn("caller");
+        lone.sleep(p, SimTime::ZERO);
+        lone.wake(p, SimTime::from_ms(1));
+        assert_eq!(lone.cpu_made_available(), SimTime::ZERO);
+
+        let mut busy = MiniScheduler::new();
+        let p = busy.spawn("caller");
+        let _bg = busy.spawn("background");
+        busy.sleep(p, SimTime::ZERO);
+        busy.wake(p, SimTime::from_ms(1));
+        assert_eq!(busy.cpu_made_available(), SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn others_runnable_ignores_sleepers() {
+        let mut s = MiniScheduler::new();
+        let a = s.spawn("a");
+        let b = s.spawn("b");
+        assert!(s.others_runnable(a));
+        s.sleep(b, SimTime::ZERO);
+        assert!(!s.others_runnable(a));
+        s.wake(b, SimTime::from_us(1));
+        assert!(s.others_runnable(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "slept twice")]
+    fn double_sleep_panics() {
+        let mut s = MiniScheduler::new();
+        let p = s.spawn("caller");
+        s.sleep(p, SimTime::ZERO);
+        s.sleep(p, SimTime::from_us(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "waking a runnable")]
+    fn wake_runnable_panics() {
+        let mut s = MiniScheduler::new();
+        let p = s.spawn("caller");
+        s.wake(p, SimTime::ZERO);
+    }
+
+    #[test]
+    fn names_and_len() {
+        let mut s = MiniScheduler::new();
+        assert!(s.is_empty());
+        let p = s.spawn("app");
+        assert_eq!(s.name(p), "app");
+        assert_eq!(s.len(), 1);
+        assert_eq!(p.to_string(), "pid0");
+    }
+}

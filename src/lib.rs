@@ -1,0 +1,20 @@
+//! # vcop-repro — umbrella crate
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration test suite (`tests/`) of the vcop workspace, and
+//! re-exports the public API for convenience. Library users should
+//! depend on [`vcop`] directly; see the workspace README for the map of
+//! crates.
+
+#![warn(missing_docs)]
+
+pub use vcop::{
+    Direction, ElemSize, Error, ExecutionReport, MapHints, ObjectId, PolicyKind, PrefetchMode,
+    System, SystemBuilder, TransferMode,
+};
+pub use vcop_apps as apps;
+pub use vcop_bench as bench;
+pub use vcop_fabric as fabric;
+pub use vcop_imu as imu;
+pub use vcop_sim as sim;
+pub use vcop_vim as vim;

@@ -140,80 +140,86 @@ fn policy() {
 }
 
 fn overlap() {
-    println!("== abl-overlap: overlapping processor and coprocessor execution ==\n");
+    println!("== abl-overlap: overlapped paging (async DMA engine) ==\n");
     println!("the paper's closing future work: \"prefetching ... allowing");
-    println!("overlapping of processor and coprocessor execution\" (adpcm 8 KB,");
-    println!("next-page prefetch)\n");
-    let mut table = Table::new(vec![
-        "VIM",
-        "faults",
-        "wall total",
-        "HW+SW sum",
-        "hidden",
-        "speedup",
-    ]);
+    println!("overlapping of processor and coprocessor execution\". Page");
+    println!("movements run on a multi-channel DMA engine raising completion");
+    println!("interrupts; prefetches and coalesced write-backs proceed under");
+    println!("coprocessor execution (adpcm 8 KB / IDEA 32 KB, next-page");
+    println!("prefetch)\n");
     let configs = [
-        ("no prefetch", PrefetchMode::None, false),
+        ("sync, no prefetch", PrefetchMode::None, false, 1),
         (
-            "prefetch d1, synchronous",
+            "sync, prefetch d1",
             PrefetchMode::NextPage { degree: 1 },
             false,
+            1,
         ),
+        ("overlap, no prefetch", PrefetchMode::None, true, 2),
         (
-            "prefetch d1, overlapped",
+            "overlap d1, 1 ch",
             PrefetchMode::NextPage { degree: 1 },
             true,
+            1,
         ),
         (
-            "prefetch d2, overlapped",
+            "overlap d1, 2 ch",
+            PrefetchMode::NextPage { degree: 1 },
+            true,
+            2,
+        ),
+        (
+            "overlap d1, 4 ch",
+            PrefetchMode::NextPage { degree: 1 },
+            true,
+            4,
+        ),
+        (
+            "overlap d2, 2 ch",
             PrefetchMode::NextPage { degree: 2 },
             true,
+            2,
         ),
     ];
-    for (name, prefetch, overlap_on) in configs {
-        let opts = ExperimentOptions {
-            prefetch,
-            overlap_prefetch: overlap_on,
-            ..Default::default()
-        };
-        let run = adpcm_vim(8, &opts);
-        table.row(vec![
-            name.to_owned(),
-            run.report.faults.to_string(),
-            ms(run.report.total()),
-            ms(run.report.cpu_and_hw_time()),
-            ms(run.report.overlap_saved()),
-            speedup(run.speedup()),
+    for app in ["adpcm 8 KB", "IDEA 32 KB"] {
+        println!("{app}:\n");
+        let mut table = Table::new(vec![
+            "VIM",
+            "faults",
+            "wall total",
+            "HW+SW sum",
+            "hidden CPU",
+            "hidden DMA",
+            "speedup",
         ]);
+        for (name, prefetch, overlap_on, channels) in configs {
+            let opts = ExperimentOptions {
+                prefetch,
+                overlap: overlap_on,
+                dma_channels: channels,
+                ..Default::default()
+            };
+            let (report, sp) = if app.starts_with("adpcm") {
+                let run = adpcm_vim(8, &opts);
+                let sp = run.speedup();
+                (run.report, sp)
+            } else {
+                let run = idea_vim(32, &opts);
+                let sp = run.speedup();
+                (run.report, sp)
+            };
+            table.row(vec![
+                name.to_owned(),
+                report.faults.to_string(),
+                ms(report.total()),
+                ms(report.cpu_and_hw_time()),
+                ms(report.overlap_saved()),
+                ms(report.dma_hidden),
+                speedup(sp),
+            ]);
+        }
+        println!("{}", table.render());
     }
-    println!("{}", table.render());
-
-    println!("same sweep on IDEA 32 KB:\n");
-    let mut table = Table::new(vec![
-        "VIM",
-        "faults",
-        "wall total",
-        "HW+SW sum",
-        "hidden",
-        "speedup",
-    ]);
-    for (name, prefetch, overlap_on) in configs {
-        let opts = ExperimentOptions {
-            prefetch,
-            overlap_prefetch: overlap_on,
-            ..Default::default()
-        };
-        let run = idea_vim(32, &opts);
-        table.row(vec![
-            name.to_owned(),
-            run.report.faults.to_string(),
-            ms(run.report.total()),
-            ms(run.report.cpu_and_hw_time()),
-            ms(run.report.overlap_saved()),
-            speedup(run.speedup()),
-        ]);
-    }
-    println!("{}", table.render());
 }
 
 fn device() {

@@ -34,8 +34,11 @@ pub struct ExperimentOptions {
     pub burst: BurstKind,
     /// Skip loads of pure-`OUT` pages.
     pub skip_out_page_load: bool,
-    /// Overlap prefetch copies with coprocessor execution.
-    pub overlap_prefetch: bool,
+    /// Overlapped paging: page movements run on the asynchronous DMA
+    /// engine underneath coprocessor execution.
+    pub overlap: bool,
+    /// DMA channel count used by overlapped paging.
+    pub dma_channels: usize,
     /// IMU pipeline depth (1 = prototype).
     pub pipeline_depth: usize,
     /// Multiplier (percent) applied to every fixed OS overhead constant
@@ -52,7 +55,8 @@ impl Default for ExperimentOptions {
             transfer: TransferMode::Double,
             burst: BurstKind::Single,
             skip_out_page_load: false,
-            overlap_prefetch: false,
+            overlap: false,
+            dma_channels: 2,
             pipeline_depth: 1,
             os_overhead_pct: 100,
         }
@@ -94,7 +98,8 @@ impl ExperimentOptions {
             .transfer(self.transfer)
             .burst(self.burst)
             .skip_out_page_load(self.skip_out_page_load)
-            .overlap_prefetch(self.overlap_prefetch)
+            .overlap(self.overlap)
+            .dma_channels(self.dma_channels)
             .pipeline_depth(self.pipeline_depth)
             .build()
     }

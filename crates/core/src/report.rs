@@ -33,6 +33,13 @@ pub struct ExecutionReport {
     /// Setup portion (syscalls + parameter staging) for reference; its
     /// time is already contained in the two `sw_*` buckets.
     pub setup: SimTime,
+    /// Bus time of DMA transfers hidden underneath coprocessor
+    /// execution by overlapped paging (prefetches and write-backs the
+    /// coprocessor never waited on). Not part of the serial
+    /// `hw + sw_dp + sw_imu` sum.
+    pub dma_hidden: SimTime,
+    /// DMA transfers submitted by overlapped paging.
+    pub dma_transfers: u64,
     /// Translation faults serviced.
     pub faults: u64,
     /// Pages copied user → dual-port RAM.
@@ -109,6 +116,13 @@ impl fmt::Display for ExecutionReport {
         writeln!(f, "total     {}", self.total())?;
         if self.overlap_saved() > SimTime::ZERO {
             writeln!(f, "  (overlap hid {} of CPU work)", self.overlap_saved())?;
+        }
+        if self.dma_hidden > SimTime::ZERO {
+            writeln!(
+                f,
+                "  (DMA moved pages for {} under execution, {} transfers)",
+                self.dma_hidden, self.dma_transfers
+            )?;
         }
         writeln!(f, "  HW      {}", self.hw)?;
         writeln!(f, "  SW (DP) {}", self.sw_dp)?;

@@ -25,7 +25,7 @@ use vcop_sim::mem::DualPortRam;
 use vcop_sim::time::{Frequency, SimTime};
 use vcop_sim::trace::{TraceSink, WaveTracer};
 use vcop_vim::cost::{OsCostModel, OsOverheads};
-use vcop_vim::manager::{PendingInstall, Vim, VimConfig};
+use vcop_vim::manager::{Vim, VimConfig};
 use vcop_vim::object::{Direction, MapHints};
 use vcop_vim::policy::PolicyKind;
 use vcop_vim::prefetch::PrefetchMode;
@@ -63,7 +63,8 @@ pub struct SystemBuilder {
     burst: BurstKind,
     skip_out_page_load: bool,
     preload: bool,
-    overlap_prefetch: bool,
+    overlap: bool,
+    dma_channels: usize,
     sync_edges: Option<u32>,
     os_overheads: OsOverheads,
     trace: bool,
@@ -84,7 +85,8 @@ impl SystemBuilder {
             burst: BurstKind::Single,
             skip_out_page_load: false,
             preload: true,
-            overlap_prefetch: false,
+            overlap: false,
+            dma_channels: 2,
             sync_edges: None,
             os_overheads: OsOverheads::paper_era(),
             trace: false,
@@ -158,12 +160,25 @@ impl SystemBuilder {
         self
     }
 
-    /// Performs prefetch copies asynchronously, overlapping processor
-    /// and coprocessor execution (the paper's announced future work).
-    /// Only effective together with a [`PrefetchMode`] other than
-    /// `None`.
-    pub fn overlap_prefetch(mut self, overlap: bool) -> Self {
-        self.overlap_prefetch = overlap;
+    /// Enables overlapped paging (the paper's announced future work):
+    /// page movements run on an asynchronous multi-channel DMA engine
+    /// that raises completion interrupts, so prefetches and write-backs
+    /// proceed underneath coprocessor execution and a demand fault costs
+    /// a DMA transfer rather than a CPU copy loop.
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Compatibility alias for [`SystemBuilder::overlap`].
+    pub fn overlap_prefetch(self, overlap: bool) -> Self {
+        self.overlap(overlap)
+    }
+
+    /// Number of DMA channels used by overlapped paging (clamped to at
+    /// least one; ignored when [`SystemBuilder::overlap`] is off).
+    pub fn dma_channels(mut self, channels: usize) -> Self {
+        self.dma_channels = channels.max(1);
         self
     }
 
@@ -229,7 +244,8 @@ impl SystemBuilder {
             prefetch: self.prefetch,
             skip_out_page_load: self.skip_out_page_load,
             preload: self.preload,
-            overlap_prefetch: self.overlap_prefetch,
+            overlap: self.overlap,
+            dma_channels: self.dma_channels,
         };
         let mut irq = InterruptController::new(1);
         let pld_irq = irq.line(0).expect("one line");
@@ -409,6 +425,8 @@ impl System {
         // Snapshot accounting state.
         let dp0 = self.vim.times().get("sw_dp");
         let imu_t0 = self.vim.times().get("sw_imu");
+        let hid0 = self.vim.times().get("dma_hidden");
+        let dma0 = self.vim.counters().get("dma_transfer");
         let faults0 = self.vim.counters().get("fault");
         let loads0 = self.vim.counters().get("page_load");
         let wb0 = self.vim.counters().get("page_writeback");
@@ -459,20 +477,34 @@ impl System {
         let mut t_done = None;
         let mut cp_cycles = 0u64;
         let mut edges = 0u64;
-        // Overlapped prefetch bookkeeping: when the CPU finishes its
-        // queued background copies, and which installs mature when.
-        let mut cpu_busy_until = SimTime::ZERO;
-        let mut pending: Vec<(SimTime, PendingInstall)> = Vec::new();
+        // Overlapped paging: fault time and CPU service time of the
+        // demand transfer the coprocessor is currently stalled on.
+        let mut demand_start: Option<(SimTime, SimTime)> = None;
         let mut fault_latency = LatencyHistogram::new();
 
         while edges < self.edge_budget {
             edges += 1;
             let (t, id) = sched.pop().expect("two clocks registered");
 
-            // Commit background installs that matured by now.
-            while let Some(pos) = pending.iter().position(|&(ready, _)| ready <= t) {
-                let (_, install) = pending.remove(pos);
-                self.vim.commit_install(&mut self.imu, &install);
+            // Drain DMA completions that occurred by this edge. A
+            // demand-page arrival models the completion interrupt:
+            // charge the stall, skip both domains past the resume
+            // point, and let the IMU retry the faulted translation.
+            if let Some(ready) = self.vim.advance_dma(&mut self.imu, &mut self.dpram, t) {
+                let (t_fault, svc_cpu) = demand_start.take().expect("demand fault recorded");
+                let irq = self.vim.cost().dma_completion_time() + self.vim.cost().resume_time();
+                let resume_at = ready.at + irq;
+                // The DP share of the stall is the tail of the DMA wait
+                // not already covered by the synchronous service time.
+                let wait_dp = ready.at.saturating_sub(t_fault + svc_cpu);
+                self.vim.credit_demand_stall(wait_dp, irq);
+                let stall = resume_at.saturating_sub(t_fault);
+                fault_latency.record(stall);
+                fault_stall += stall;
+                sched.clock_mut(imu_clk).fast_forward_past(resume_at);
+                sched.clock_mut(cp_clk).fast_forward_past(resume_at);
+                self.imu.resume();
+                continue;
             }
 
             if id == imu_clk {
@@ -485,31 +517,19 @@ impl System {
                         self.irq.raise(self.pld_irq);
                         let svc = self.vim.service_fault(&mut self.imu, &mut self.dpram)?;
                         self.irq.acknowledge(self.pld_irq);
-                        // The handler waits for any background copies
-                        // still occupying the CPU.
-                        let start = t.max(cpu_busy_until);
-                        let mut resume_at = start + svc.times.total();
-                        if let Some(frame) = svc.wait_for {
-                            // Faulted on a page whose copy is in flight:
-                            // wait for it, commit, resume — no second copy.
-                            if let Some(pos) = pending.iter().position(|&(_, pi)| pi.frame == frame)
-                            {
-                                let (ready, install) = pending.remove(pos);
-                                resume_at = resume_at.max(ready);
-                                self.vim.commit_install(&mut self.imu, &install);
-                            }
-                            self.imu.resume();
+                        if svc.pending {
+                            // Overlapped paging: the demand movement is
+                            // on the DMA engine; the coprocessor stays
+                            // stalled until its completion interrupt.
+                            demand_start = Some((t, svc.times.total()));
+                        } else {
+                            let resume_at = t + svc.times.total();
+                            let stall = resume_at.saturating_sub(t);
+                            fault_latency.record(stall);
+                            fault_stall += stall;
+                            sched.clock_mut(imu_clk).fast_forward_past(resume_at);
+                            sched.clock_mut(cp_clk).fast_forward_past(resume_at);
                         }
-                        cpu_busy_until = resume_at;
-                        for install in self.vim.take_pending_installs() {
-                            cpu_busy_until += install.cost;
-                            pending.push((cpu_busy_until, install));
-                        }
-                        let stall = resume_at.saturating_sub(t);
-                        fault_latency.record(stall);
-                        fault_stall += stall;
-                        sched.clock_mut(imu_clk).fast_forward_past(resume_at);
-                        sched.clock_mut(cp_clk).fast_forward_past(resume_at);
                     }
                     Some(ImuEvent::Done) => {
                         self.irq.raise(self.pld_irq);
@@ -542,6 +562,8 @@ impl System {
             sw_dp: self.vim.times().get("sw_dp").saturating_sub(dp0),
             sw_imu: self.vim.times().get("sw_imu").saturating_sub(imu_t0),
             setup,
+            dma_hidden: self.vim.times().get("dma_hidden").saturating_sub(hid0),
+            dma_transfers: self.vim.counters().get("dma_transfer") - dma0,
             faults: self.vim.counters().get("fault") - faults0,
             page_loads: self.vim.counters().get("page_load") - loads0,
             page_writebacks: self.vim.counters().get("page_writeback") - wb0,

@@ -1,0 +1,572 @@
+//! A vendored, registry-free stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests were written against the real
+//! proptest API; this crate reimplements exactly the subset they use —
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros,
+//! [`strategy::Strategy`] with `prop_map`, range / tuple / array /
+//! collection strategies, [`arbitrary::any`], and a deterministic
+//! [`test_runner::TestRunner`] — so the suite builds and runs without
+//! network access. There is no shrinking: a failing case reports the
+//! generated inputs via the panic message instead.
+
+pub mod test_runner {
+    //! Deterministic case runner and configuration.
+
+    use core::fmt;
+
+    /// Run configuration. Only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` and friends inside a property.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic xorshift-based generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit draw (xorshift64*).
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant for test-input generation.
+            self.next_u64() % bound
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Drives case generation. Seeded deterministically so failures
+    /// reproduce across runs.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with the given configuration and the fixed
+        /// default seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: TestRng::new(0x5EED_CAFE_F00D_0001),
+            }
+        }
+
+        /// A runner with the default configuration and fixed seed (API
+        /// parity with proptest's deterministic constructor).
+        pub fn deterministic() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+
+        /// Number of cases the configuration requests.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The generator strategies draw from.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRunner;
+    use core::marker::PhantomData;
+    use core::ops::Range;
+
+    /// A generated value holder. Real proptest shrinks through this; the
+    /// stand-in just hands back the generated value.
+    pub trait ValueTree {
+        /// The value type produced.
+        type Value;
+        /// The current (only) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The trivial [`ValueTree`]: one value, no shrinking.
+    #[derive(Debug, Clone)]
+    pub struct Single<T>(pub T);
+
+    impl<T: Clone> ValueTree for Single<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Something that can generate values of `Self::Value`.
+    pub trait Strategy {
+        /// The value type generated.
+        type Value: Clone;
+
+        /// Generates one value from the runner's RNG.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Produces a value tree (proptest API shape). Never fails in
+        /// the stand-in; the `Result` keeps call sites source-compatible.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Single<Self::Value>, &'static str> {
+            Ok(Single(self.generate(runner)))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.source.generate(runner))
+        }
+    }
+
+    /// Strategy for [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + runner.rng().below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + runner.rng().unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod arbitrary {
+    //! Default value generation, keyed by type.
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRunner;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Clone {
+        /// Generates an arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.rng().next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.rng().next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(runner: &mut TestRunner) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            (0x20 + runner.rng().below(0x5F) as u8) as char
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(runner: &mut TestRunner) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(runner))
+        }
+    }
+
+    macro_rules! tuple_arbitrary {
+        ($(($($t:ident),+))*) => {$(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    ($($t::arbitrary(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_arbitrary! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use core::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact count or a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, end: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.min) as u64;
+            let len = self.size.min + runner.rng().below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            runner.rng().next_u64() & 1 == 1
+        }
+    }
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property-based tests.
+///
+/// Mirrors proptest's macro: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs. Each function runs
+/// `cases` times with freshly generated inputs; `prop_assert!`-family
+/// failures panic with the case number and the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __vcop_cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __vcop_runner = $crate::test_runner::TestRunner::new(__vcop_cfg);
+                for __vcop_case in 0..__vcop_runner.cases() {
+                    $(
+                        let $pat = {
+                            let __vcop_tree = $crate::strategy::Strategy::new_tree(
+                                &($strat),
+                                &mut __vcop_runner,
+                            )
+                            .expect("stand-in strategies are infallible");
+                            $crate::strategy::ValueTree::current(&__vcop_tree)
+                        };
+                    )*
+                    let __vcop_result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = __vcop_result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __vcop_case + 1,
+                            __vcop_runner.cases(),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with generated-input context) rather than unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..200 {
+            let v = (5u32..17).new_tree(&mut runner).unwrap().current();
+            assert!((5..17).contains(&v));
+            let f = (0.25f64..0.75).new_tree(&mut runner).unwrap().current();
+            assert!((0.25..0.75).contains(&f));
+            let i = (-8i16..-2).new_tree(&mut runner).unwrap().current();
+            assert!((-8..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let draw = || {
+            let mut runner = TestRunner::deterministic();
+            (0..32)
+                .map(|_| any::<u64>().new_tree(&mut runner).unwrap().current())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn collection_vec_respects_sizes() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..50 {
+            let exact = crate::collection::vec(any::<u8>(), 3)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            assert_eq!(exact.len(), 3);
+            let ranged = crate::collection::vec(0u32..10, 2..6)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            assert!((2..6).contains(&ranged.len()));
+            assert!(ranged.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut runner = TestRunner::deterministic();
+        let strat = (0u32..4, crate::bool::ANY).prop_map(|(n, b)| if b { n + 100 } else { n });
+        for _ in 0..64 {
+            let v = strat.new_tree(&mut runner).unwrap().current();
+            assert!(v < 4 || (100..104).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 1u64..100, ys in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(ys.len() < 8, "len {}", ys.len());
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

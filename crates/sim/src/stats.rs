@@ -116,6 +116,28 @@ impl TimeBuckets {
         self.values.values().copied().sum()
     }
 
+    /// Sum of all buckets except the named ones. Overlapped paging keeps
+    /// a separate *hidden* account (DMA cycles buried under coprocessor
+    /// execution); excluding it yields the serial-work sum the paper's
+    /// decomposition adds up.
+    pub fn total_excluding(&self, names: &[&str]) -> SimTime {
+        self.values
+            .iter()
+            .filter(|(k, _)| !names.contains(&(**k)))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Fraction of the grand total held by bucket `name` (zero when the
+    /// total is zero).
+    pub fn share(&self, name: &str) -> f64 {
+        let total = self.total().as_ps();
+        if total == 0 {
+            return 0.0;
+        }
+        self.get(name).as_ps() as f64 / total as f64
+    }
+
     /// Iterates over `(name, time)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, SimTime)> + '_ {
         self.values.iter().map(|(k, v)| (*k, *v))
@@ -175,6 +197,18 @@ mod tests {
         u.add("hw", SimTime::from_us(1));
         t.merge(&u);
         assert_eq!(t.get("hw"), SimTime::from_us(4));
+    }
+
+    #[test]
+    fn buckets_exclusion_and_share() {
+        let mut t = TimeBuckets::new();
+        t.add("sw_dp", SimTime::from_us(6));
+        t.add("sw_imu", SimTime::from_us(2));
+        t.add("dma_hidden", SimTime::from_us(2));
+        assert_eq!(t.total_excluding(&["dma_hidden"]), SimTime::from_us(8));
+        assert_eq!(t.total_excluding(&[]), t.total());
+        assert!((t.share("sw_dp") - 0.6).abs() < 1e-9);
+        assert_eq!(TimeBuckets::new().share("sw_dp"), 0.0);
     }
 
     #[test]

@@ -153,6 +153,27 @@ impl OsCostModel {
         &self.cpu
     }
 
+    /// The AHB bus model (overlapped paging plans its DMA bursts on it).
+    pub fn bus(&self) -> &AhbBus {
+        &self.bus
+    }
+
+    /// The DMA engine's static programming costs.
+    pub fn dma_config(&self) -> &DmaConfig {
+        self.dma.config()
+    }
+
+    /// CPU time to build and write one DMA descriptor (paid inside fault
+    /// service when a transfer is enqueued asynchronously).
+    pub fn dma_setup_time(&self) -> SimTime {
+        self.t(self.dma.config().setup_cycles)
+    }
+
+    /// CPU time for one DMA completion interrupt (entry, ack, exit).
+    pub fn dma_completion_time(&self) -> SimTime {
+        self.t(self.dma.config().completion_cycles)
+    }
+
     fn t(&self, cycles: u64) -> SimTime {
         self.cpu.cycles_to_time(cycles)
     }
@@ -304,6 +325,20 @@ mod tests {
         let t_single = single.page_move_time(0, 2048);
         let t_dma = dma.page_move_time(0, 2048);
         assert!(t_dma < t_single, "DMA {t_dma} !< single {t_single}");
+    }
+
+    #[test]
+    fn dma_async_helper_times_are_cpu_priced() {
+        let m = OsCostModel::epxa1();
+        let cfg = *m.dma_config();
+        assert_eq!(m.dma_setup_time(), m.cpu().cycles_to_time(cfg.setup_cycles));
+        assert_eq!(
+            m.dma_completion_time(),
+            m.cpu().cycles_to_time(cfg.completion_cycles)
+        );
+        // The bus accessor exposes the same clock the CPU stripe uses on
+        // the EPXA1 (shared AHB).
+        assert_eq!(m.bus().frequency(), m.cpu().frequency());
     }
 
     #[test]

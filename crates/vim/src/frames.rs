@@ -20,6 +20,16 @@ pub struct Resident {
 }
 
 /// Per-frame occupancy state.
+///
+/// With overlapped paging a frame moves through a four-state machine:
+/// `Free → Loading → Resident → Evicting → Free`, where `Loading` and
+/// `Evicting` pin the frame for the duration of an asynchronous DMA
+/// transfer — the IMU cannot map it (its TLB entry stays invalid) and
+/// the replacement policy cannot steal it (pinned frames are excluded
+/// from [`FrameTable::residents`]). A dirty victim coalesces with its
+/// successor by retargeting `Evicting → Loading` on write-back
+/// completion, double-buffering the frame between outgoing and incoming
+/// pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FrameState {
     /// Nothing resident.
@@ -30,6 +40,12 @@ pub enum FrameState {
     Params,
     /// Holds a page of a mapped object.
     Resident(Resident),
+    /// An inbound page transfer is in flight; the frame is pinned and
+    /// the page is not yet mapped.
+    Loading(Resident),
+    /// An outbound write-back is in flight; the frame is pinned and the
+    /// departing page is already unmapped.
+    Evicting(Resident),
 }
 
 /// The OS's view of the dual-port RAM frames.
@@ -135,8 +151,13 @@ impl FrameTable {
                 Some(r)
             }
             // Parameter reservations are released only through
-            // `release_params`; an already-free frame stays free.
-            FrameState::Params | FrameState::Free => None,
+            // `release_params`; pinned (in-flight) frames only through
+            // their transfer-completion transitions; an already-free
+            // frame stays free.
+            FrameState::Params
+            | FrameState::Free
+            | FrameState::Loading(_)
+            | FrameState::Evicting(_) => None,
         }
     }
 
@@ -163,6 +184,113 @@ impl FrameTable {
         } else {
             false
         }
+    }
+
+    /// Begins an asynchronous load: `Free → Loading`. The frame is
+    /// pinned until [`FrameTable::finish_load`] (or
+    /// [`FrameTable::cancel_load`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range or not free.
+    pub fn begin_load(&mut self, frame: PageIndex, obj: ObjectId, vpage: u32) -> Resident {
+        assert_eq!(
+            self.frames[frame.0],
+            FrameState::Free,
+            "loading into non-free frame {frame}"
+        );
+        let r = Resident {
+            obj,
+            vpage,
+            loaded_seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.frames[frame.0] = FrameState::Loading(r);
+        r
+    }
+
+    /// Completes an asynchronous load: `Loading → Resident`. Returns the
+    /// now-resident page, or `None` if the frame was not loading.
+    pub fn finish_load(&mut self, frame: PageIndex) -> Option<Resident> {
+        match self.frames[frame.0] {
+            FrameState::Loading(r) => {
+                self.frames[frame.0] = FrameState::Resident(r);
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+
+    /// Aborts an asynchronous load (coprocessor teardown):
+    /// `Loading → Free`. Returns the page that was inbound.
+    pub fn cancel_load(&mut self, frame: PageIndex) -> Option<Resident> {
+        match self.frames[frame.0] {
+            FrameState::Loading(r) => {
+                self.frames[frame.0] = FrameState::Free;
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+
+    /// Begins an asynchronous write-back of a dirty victim:
+    /// `Resident → Evicting`. The departing page must already be
+    /// unmapped from the TLB. Returns the victim, or `None` if the frame
+    /// held no resident page.
+    pub fn begin_evict(&mut self, frame: PageIndex) -> Option<Resident> {
+        match self.frames[frame.0] {
+            FrameState::Resident(r) => {
+                self.frames[frame.0] = FrameState::Evicting(r);
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+
+    /// Completes (or aborts) an asynchronous write-back:
+    /// `Evicting → Free`. Returns the departed page.
+    pub fn finish_evict(&mut self, frame: PageIndex) -> Option<Resident> {
+        match self.frames[frame.0] {
+            FrameState::Evicting(r) => {
+                self.frames[frame.0] = FrameState::Free;
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+
+    /// Coalesced write-back + load: `Evicting → Loading`, retargeting the
+    /// frame at the incoming page without ever exposing it as free. This
+    /// is the double-buffering transient of overlapped paging. Returns
+    /// the new inbound page, or `None` if the frame was not evicting.
+    pub fn retarget_load(
+        &mut self,
+        frame: PageIndex,
+        obj: ObjectId,
+        vpage: u32,
+    ) -> Option<Resident> {
+        match self.frames[frame.0] {
+            FrameState::Evicting(_) => {
+                let r = Resident {
+                    obj,
+                    vpage,
+                    loaded_seq: self.next_seq,
+                };
+                self.next_seq += 1;
+                self.frames[frame.0] = FrameState::Loading(r);
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of frames pinned by in-flight transfers
+    /// (`Loading` + `Evicting`).
+    pub fn pinned_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|s| matches!(s, FrameState::Loading(_) | FrameState::Evicting(_)))
+            .count()
     }
 
     /// The frame currently holding page `vpage` of `obj`, if resident.
@@ -271,5 +399,68 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_frames_rejected() {
         let _ = FrameTable::new(0);
+    }
+
+    #[test]
+    fn load_lifecycle_pins_frame() {
+        let mut ft = FrameTable::new(2);
+        let r = ft.begin_load(PageIndex(0), ObjectId(1), 4);
+        assert_eq!(r.vpage, 4);
+        assert_eq!(ft.pinned_count(), 1);
+        // Pinned frames are invisible to allocation, lookup and eviction.
+        assert_eq!(ft.find_free(), Some(PageIndex(1)));
+        assert_eq!(ft.frame_of(ObjectId(1), 4), None);
+        assert!(ft.residents().is_empty());
+        assert_eq!(ft.evict(PageIndex(0)), None);
+        let done = ft.finish_load(PageIndex(0)).unwrap();
+        assert_eq!(done, r);
+        assert_eq!(ft.pinned_count(), 0);
+        assert_eq!(ft.frame_of(ObjectId(1), 4), Some(PageIndex(0)));
+    }
+
+    #[test]
+    fn cancel_load_frees_without_mapping() {
+        let mut ft = FrameTable::new(1);
+        ft.begin_load(PageIndex(0), ObjectId(0), 0);
+        assert!(ft.cancel_load(PageIndex(0)).is_some());
+        assert_eq!(ft.free_count(), 1);
+        assert_eq!(ft.finish_load(PageIndex(0)), None);
+    }
+
+    #[test]
+    fn evict_lifecycle_and_coalesced_retarget() {
+        let mut ft = FrameTable::new(2);
+        ft.install(PageIndex(0), ObjectId(0), 7);
+        let victim = ft.begin_evict(PageIndex(0)).unwrap();
+        assert_eq!(victim.vpage, 7);
+        assert_eq!(ft.pinned_count(), 1);
+        assert_eq!(ft.frame_of(ObjectId(0), 7), None);
+        // Coalesce: the write-back completes straight into a new load
+        // without the frame ever appearing free.
+        let incoming = ft.retarget_load(PageIndex(0), ObjectId(2), 1).unwrap();
+        assert!(incoming.loaded_seq > victim.loaded_seq);
+        assert_eq!(ft.state(PageIndex(0)), FrameState::Loading(incoming));
+        assert_eq!(ft.free_count(), 1);
+        ft.finish_load(PageIndex(0)).unwrap();
+        assert_eq!(ft.frame_of(ObjectId(2), 1), Some(PageIndex(0)));
+    }
+
+    #[test]
+    fn finish_evict_releases_frame() {
+        let mut ft = FrameTable::new(1);
+        ft.install(PageIndex(0), ObjectId(0), 0);
+        ft.begin_evict(PageIndex(0)).unwrap();
+        let gone = ft.finish_evict(PageIndex(0)).unwrap();
+        assert_eq!(gone.obj, ObjectId(0));
+        assert_eq!(ft.free_count(), 1);
+        assert_eq!(ft.finish_evict(PageIndex(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-free frame")]
+    fn begin_load_into_occupied_frame_panics() {
+        let mut ft = FrameTable::new(1);
+        ft.install(PageIndex(0), ObjectId(0), 0);
+        ft.begin_load(PageIndex(0), ObjectId(1), 0);
     }
 }

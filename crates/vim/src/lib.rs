@@ -35,7 +35,7 @@ pub mod process;
 
 pub use cost::{OsCostModel, OsOverheads, TransferMode};
 pub use error::VimError;
-pub use manager::{FaultService, PendingInstall, ServiceTimes, Vim, VimConfig};
+pub use manager::{DemandReady, FaultService, ServiceTimes, Vim, VimConfig};
 pub use object::{Direction, MapHints, MappedObject};
 pub use policy::PolicyKind;
 pub use prefetch::PrefetchMode;

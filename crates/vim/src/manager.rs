@@ -13,6 +13,9 @@ use std::collections::BTreeMap;
 use vcop_fabric::port::ObjectId;
 use vcop_imu::imu::{ElemSize, FaultCause, Imu};
 use vcop_imu::tlb::{TlbEntry, VirtualPage};
+use vcop_sim::bus::SlaveProfile;
+use vcop_sim::clock::ClockDomain;
+use vcop_sim::dma::{AsyncDmaEngine, TransferId};
 use vcop_sim::mem::{DualPortRam, PageIndex, Port};
 use vcop_sim::stats::{Counters, TimeBuckets};
 use vcop_sim::time::SimTime;
@@ -47,13 +50,20 @@ pub struct VimConfig {
     /// faults". Pages are installed round-robin across objects so
     /// sequential kernels keep both inputs and outputs resident.
     pub preload: bool,
-    /// Perform prefetch page copies *asynchronously*: the fault service
-    /// returns as soon as the demand page is in place, and the
-    /// speculative copies proceed on the CPU while the coprocessor runs
-    /// — the paper's announced future work of "overlapping of processor
-    /// and coprocessor execution" (Section 4.1). Requires a prefetch
-    /// mode other than [`PrefetchMode::None`] to have any effect.
-    pub overlap_prefetch: bool,
+    /// Overlap page traffic with coprocessor execution: demand faults
+    /// *enqueue* their page movement on an asynchronous DMA engine and
+    /// return; the coprocessor resumes on the completion interrupt
+    /// rather than at fault-service return, and speculative (prefetch)
+    /// loads and victim write-backs stream over the bus while the
+    /// coprocessor keeps running — the paper's announced future work of
+    /// "overlapping of processor and coprocessor execution"
+    /// (Section 4.1).
+    pub overlap: bool,
+    /// Number of DMA channels when [`VimConfig::overlap`] is set. More
+    /// channels let an urgent demand transfer run beside queued
+    /// prefetches instead of behind them (round-robin bus arbitration at
+    /// burst granularity).
+    pub dma_channels: usize,
 }
 
 impl VimConfig {
@@ -66,7 +76,8 @@ impl VimConfig {
             prefetch: PrefetchMode::None,
             skip_out_page_load: false,
             preload: true,
-            overlap_prefetch: false,
+            overlap: false,
+            dma_channels: 2,
         }
     }
 }
@@ -93,29 +104,58 @@ impl ServiceTimes {
 /// Outcome of a fault service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultService {
-    /// Synchronous service time (the coprocessor stall).
+    /// Synchronous CPU service time (decode, allocation, descriptor
+    /// setup; in synchronous mode also the page copies).
     pub times: ServiceTimes,
-    /// The faulting page is already being loaded asynchronously into
-    /// this frame (overlapped prefetch in flight). The caller must wait
-    /// for the pending install of that frame to mature, commit it with
-    /// [`Vim::commit_install`], and resume the IMU itself.
-    pub wait_for: Option<PageIndex>,
+    /// The demand page movement is in flight on the DMA engine
+    /// (overlapped paging): the IMU was *not* resumed. The platform must
+    /// keep calling [`Vim::advance_dma`] and resume the coprocessor when
+    /// it reports [`DemandReady`].
+    pub pending: bool,
 }
 
-/// A speculative page install whose copy proceeds while the coprocessor
-/// runs. Returned by [`Vim::take_pending_installs`]; the platform
-/// harness schedules `cost` of CPU time and then calls
-/// [`Vim::commit_install`].
+/// Reported by [`Vim::advance_dma`] when the transfer the coprocessor is
+/// stalled on completes: the page is mapped and the platform should
+/// model the completion interrupt, resume the IMU, and account the
+/// stall.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PendingInstall {
-    /// Object whose page is loading.
-    pub obj: ObjectId,
-    /// Virtual page within the object.
-    pub vpage: u32,
-    /// Destination frame.
+pub struct DemandReady {
+    /// Bus-edge time the demand transfer completed.
+    pub at: SimTime,
+    /// Frame now holding the demand page.
     pub frame: PageIndex,
-    /// CPU time the copy takes.
-    pub cost: SimTime,
+}
+
+/// The load that takes over an `Evicting` frame once its write-back
+/// retires (coalesced write-back + load: the frame double-buffers
+/// between the outgoing and incoming page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChainedLoad {
+    obj: ObjectId,
+    vpage: u32,
+    /// The coprocessor is stalled on this page.
+    demand: bool,
+}
+
+/// Role of an in-flight DMA transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InFlightKind {
+    /// Inbound page load into a `Loading` frame.
+    Load { demand: bool },
+    /// Outbound write-back from an `Evicting` frame, optionally chained
+    /// to the load that reuses the frame.
+    Writeback { then_load: Option<ChainedLoad> },
+}
+
+/// Bookkeeping for one transfer queued on the async DMA engine.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    ticket: TransferId,
+    frame: PageIndex,
+    /// Page moving (inbound for loads, outbound for write-backs).
+    obj: ObjectId,
+    vpage: u32,
+    kind: InFlightKind,
 }
 
 /// The Virtual Interface Manager.
@@ -130,12 +170,17 @@ pub struct Vim {
     times: TimeBuckets,
     user_alloc_next: usize,
     param_frame: Option<PageIndex>,
-    /// Pages whose data copy is in flight (overlapped prefetch): the
-    /// frame is occupied and its TLB entry written but still invalid.
-    loading: Vec<(ObjectId, u32, PageIndex)>,
-    /// Installs scheduled during the last fault service, to be drained
-    /// by the harness.
-    pending_out: Vec<PendingInstall>,
+    /// The async DMA engine (overlapped paging only).
+    dma: Option<AsyncDmaEngine>,
+    /// Bus clock the engine advances on; [`Vim::advance_dma`] catches it
+    /// up to the platform's current time.
+    bus_clock: Option<ClockDomain>,
+    /// Transfers queued on the engine, by ticket.
+    in_flight: Vec<InFlight>,
+    /// A demand page whose load could not start because every candidate
+    /// frame was pinned by an in-flight transfer; retried on each
+    /// completion.
+    deferred_demand: Option<(ObjectId, u32)>,
 }
 
 impl Vim {
@@ -147,6 +192,12 @@ impl Vim {
     pub fn new(config: VimConfig, cost: OsCostModel) -> Self {
         assert!(config.frame_count > 0, "VIM needs frames");
         assert!(config.page_bytes > 0, "VIM needs a page size");
+        let dma = config
+            .overlap
+            .then(|| AsyncDmaEngine::new(*cost.dma_config(), config.dma_channels));
+        let bus_clock = config
+            .overlap
+            .then(|| ClockDomain::new(cost.bus().frequency()));
         Vim {
             frames: FrameTable::new(config.frame_count),
             policy: config.policy.build(),
@@ -158,8 +209,10 @@ impl Vim {
             // Skip address 0 so object bases look like real user pointers.
             user_alloc_next: 0x10000,
             param_frame: None,
-            loading: Vec::new(),
-            pending_out: Vec::new(),
+            dma,
+            bus_clock,
+            in_flight: Vec::new(),
+            deferred_demand: None,
         }
     }
 
@@ -172,6 +225,11 @@ impl Vim {
     /// `eviction`, `prefetch`, `param_freed`).
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// The OS cost model pricing the manager's work.
+    pub fn cost(&self) -> &OsCostModel {
+        &self.cost
     }
 
     /// Accumulated service time buckets (`sw_dp`, `sw_imu`).
@@ -251,9 +309,13 @@ impl Vim {
                 capacity,
             });
         }
+        self.cancel_in_flight(imu);
+        if let Some(clock) = &mut self.bus_clock {
+            // The platform restarts its edge timeline at zero for each
+            // execution; the DMA bus clock follows suit.
+            *clock = ClockDomain::new(self.cost.bus().frequency());
+        }
         self.frames.clear();
-        self.loading.clear();
-        self.pending_out.clear();
         imu.tlb_mut().invalidate_all();
         imu.clear_object_layouts();
         for o in self.objects.values() {
@@ -344,24 +406,23 @@ impl Vim {
             .collect()
     }
 
-    /// Copies page `vpage` of object `obj` from user space into `frame`,
-    /// returning the transfer time (zero if the load is skipped for a
-    /// pure-`OUT` object).
-    fn load_page(
+    /// Functionally copies page `vpage` of `obj` from user space into
+    /// `frame` (no cost accounting). Returns `(user_addr, bytes)`, or
+    /// `None` when the load is skipped for a pure-`OUT` object.
+    fn copy_page_in(
         &mut self,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
         dpram: &mut DualPortRam,
-    ) -> SimTime {
+    ) -> Option<(usize, usize)> {
         let o = self.objects.get(&obj.0).expect("validated by caller");
         let (start, end) = o
             .page_range(vpage, self.config.page_bytes)
             .expect("validated by caller");
         let bytes = end - start;
-        let skip = self.config.skip_out_page_load && !o.direction().loads();
-        if skip {
-            return SimTime::ZERO;
+        if self.config.skip_out_page_load && !o.direction().loads() {
+            return None;
         }
         let user_addr = o.user_base() + start;
         let slice = o.data()[start..end].to_vec();
@@ -369,18 +430,18 @@ impl Vim {
             .write_slice(Port::Cpu, frame.0 * self.config.page_bytes, &slice)
             .expect("frame address in range");
         self.counters.incr("page_load");
-        self.cost.page_move_time(user_addr, bytes)
+        Some((user_addr, bytes))
     }
 
-    /// Copies `frame` back into page `vpage` of object `obj`, returning
-    /// the transfer time.
-    fn writeback_page(
+    /// Functionally copies `frame` back into page `vpage` of `obj` (no
+    /// cost accounting). Returns `(user_addr, bytes)`.
+    fn copy_page_out(
         &mut self,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
         dpram: &mut DualPortRam,
-    ) -> SimTime {
+    ) -> (usize, usize) {
         let page_bytes = self.config.page_bytes;
         let o = self
             .objects
@@ -397,6 +458,35 @@ impl Vim {
             .expect("frame address in range");
         o.data_mut()[start..end].copy_from_slice(&buf);
         self.counters.incr("page_writeback");
+        (user_addr, bytes)
+    }
+
+    /// Copies page `vpage` of object `obj` from user space into `frame`,
+    /// returning the transfer time (zero if the load is skipped for a
+    /// pure-`OUT` object).
+    fn load_page(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        frame: PageIndex,
+        dpram: &mut DualPortRam,
+    ) -> SimTime {
+        match self.copy_page_in(obj, vpage, frame, dpram) {
+            Some((user_addr, bytes)) => self.cost.page_move_time(user_addr, bytes),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Copies `frame` back into page `vpage` of object `obj`, returning
+    /// the transfer time.
+    fn writeback_page(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        frame: PageIndex,
+        dpram: &mut DualPortRam,
+    ) -> SimTime {
+        let (user_addr, bytes) = self.copy_page_out(obj, vpage, frame, dpram);
         self.cost.page_move_time(user_addr, bytes)
     }
 
@@ -428,7 +518,6 @@ impl Vim {
         imu.tlb_mut().invalidate(victim.0);
         out.imu += self.cost.tlb_update_time();
         self.frames.evict(victim);
-        self.loading.retain(|&(_, _, f)| f != victim);
         self.policy.on_evict(resident.obj, resident.vpage);
         self.counters.incr("eviction");
         Ok(victim)
@@ -461,7 +550,6 @@ impl Vim {
         if let Some(r) = self.frames.evict(victim) {
             self.policy.on_evict(r.obj, r.vpage);
         }
-        self.loading.retain(|&(_, _, f)| f != victim);
         self.counters.incr("eviction");
         Some(victim)
     }
@@ -492,26 +580,74 @@ impl Vim {
         self.policy.on_load(frame.0);
     }
 
-    /// Installs page `vpage` of `obj` into `frame` with the data copy
-    /// proceeding in the background: the frame is occupied and the TLB
-    /// entry written *invalid*; the copy cost goes to the `sw_dp` bucket
-    /// but not to the synchronous stall. The entry becomes valid when
-    /// the harness calls [`Vim::commit_install`].
-    fn install_page_async(
+    /// Time of `cycles` bus cycles at the DMA engine's clock.
+    fn bus_time(&self, cycles: u64) -> SimTime {
+        self.cost.bus().frequency().cycles(cycles)
+    }
+
+    /// Whether page `vpage` of `obj` is inbound on an in-flight transfer
+    /// (a queued load, or the chained load of a write-back).
+    fn is_inbound(&self, obj: ObjectId, vpage: u32) -> bool {
+        self.in_flight.iter().any(|f| match f.kind {
+            InFlightKind::Load { .. } => f.obj == obj && f.vpage == vpage,
+            InFlightKind::Writeback { then_load } => {
+                matches!(then_load, Some(c) if c.obj == obj && c.vpage == vpage)
+            }
+        })
+    }
+
+    /// Marks the inbound transfer of `(obj, vpage)` — queued load or
+    /// chained load — as the demand the coprocessor is stalled on.
+    /// Returns whether such a transfer existed.
+    fn mark_inbound_demand(&mut self, obj: ObjectId, vpage: u32) -> bool {
+        for f in &mut self.in_flight {
+            match &mut f.kind {
+                InFlightKind::Load { demand } if f.obj == obj && f.vpage == vpage => {
+                    *demand = true;
+                    return true;
+                }
+                InFlightKind::Writeback { then_load: Some(c) }
+                    if c.obj == obj && c.vpage == vpage =>
+                {
+                    c.demand = true;
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Enqueues an asynchronous DMA load of `(obj, vpage)` into `frame`.
+    /// The caller has already put the frame into the `Loading` state.
+    /// The data is staged functionally now — the TLB entry is written
+    /// *invalid*, so the coprocessor cannot observe the page until the
+    /// transfer's timing completes — and the CPU pays only descriptor
+    /// setup.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_load(
         &mut self,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
+        demand: bool,
         imu: &mut Imu,
         dpram: &mut DualPortRam,
         out: &mut ServiceTimes,
     ) {
-        // Data is written to the dual-port RAM immediately (the model
-        // has no torn reads to worry about: the TLB entry stays invalid
-        // until commit, so the coprocessor cannot observe the page).
-        let cost = self.load_page(obj, vpage, frame, dpram);
-        self.times.add("sw_dp", cost);
-        self.frames.install(frame, obj, vpage);
+        // Pure-OUT pages with `skip_out_page_load` move no data: the
+        // descriptor-only transfer still round-trips the engine so every
+        // demand resolves through the same completion path.
+        let bytes = self
+            .copy_page_in(obj, vpage, frame, dpram)
+            .map_or(0, |(_, bytes)| bytes);
+        let bus = *self.cost.bus();
+        let ticket = self.dma.as_mut().expect("overlap engine").submit(
+            &bus,
+            bytes,
+            SlaveProfile::SDRAM,
+            SlaveProfile::DPRAM,
+        );
         imu.tlb_mut().set_entry(
             frame.0,
             TlbEntry {
@@ -521,55 +657,331 @@ impl Vim {
                 frame,
             },
         );
-        out.imu += self.cost.tlb_update_time();
-        self.loading.push((obj, vpage, frame));
-        self.pending_out.push(PendingInstall {
+        out.imu += self.cost.tlb_update_time() + self.cost.dma_setup_time();
+        self.in_flight.push(InFlight {
+            ticket,
+            frame,
             obj,
             vpage,
-            frame,
-            cost,
+            kind: InFlightKind::Load { demand },
         });
-        self.policy.on_load(frame.0);
+        self.counters.incr("dma_transfer");
     }
 
-    /// Drains the installs scheduled by the last fault service.
-    pub fn take_pending_installs(&mut self) -> Vec<PendingInstall> {
-        std::mem::take(&mut self.pending_out)
+    /// Enqueues an asynchronous write-back of `resident` out of `frame`
+    /// (already in the `Evicting` state), optionally chaining the load
+    /// that reuses the frame once the write-back retires. The user
+    /// buffer is updated functionally now; the departing page was
+    /// unmapped by the caller, so the coprocessor can no longer dirty it.
+    fn submit_writeback(
+        &mut self,
+        frame: PageIndex,
+        resident: crate::frames::Resident,
+        then_load: Option<ChainedLoad>,
+        dpram: &mut DualPortRam,
+        out: &mut ServiceTimes,
+    ) {
+        let (_, bytes) = self.copy_page_out(resident.obj, resident.vpage, frame, dpram);
+        let bus = *self.cost.bus();
+        let ticket = self.dma.as_mut().expect("overlap engine").submit(
+            &bus,
+            bytes,
+            SlaveProfile::DPRAM,
+            SlaveProfile::SDRAM,
+        );
+        out.imu += self.cost.dma_setup_time();
+        self.in_flight.push(InFlight {
+            ticket,
+            frame,
+            obj: resident.obj,
+            vpage: resident.vpage,
+            kind: InFlightKind::Writeback { then_load },
+        });
+        self.counters.incr("dma_transfer");
     }
 
-    /// Marks a matured asynchronous install valid. Returns `false` (and
-    /// does nothing) if the frame was evicted or repurposed while the
-    /// copy was in flight.
-    pub fn commit_install(&mut self, imu: &mut Imu, install: &PendingInstall) -> bool {
-        let still_loading = self
-            .loading
-            .iter()
-            .position(|&(o, vp, f)| o == install.obj && vp == install.vpage && f == install.frame);
-        let Some(pos) = still_loading else {
+    /// Allocates a frame for the demand page and starts its asynchronous
+    /// load. A dirty victim coalesces: its write-back is enqueued with
+    /// the demand load chained onto completion. Returns `false` when
+    /// every candidate frame is pinned (the caller defers the demand).
+    fn start_demand_load(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        out: &mut ServiceTimes,
+    ) -> bool {
+        if let Some(frame) = self.frames.find_free() {
+            self.frames.begin_load(frame, obj, vpage);
+            self.submit_load(obj, vpage, frame, true, imu, dpram, out);
+            return true;
+        }
+        let views = self.frame_views(imu);
+        if views.is_empty() {
             return false;
+        }
+        let victim = PageIndex(self.policy.choose_victim(&views));
+        let resident = match self.frames.state(victim) {
+            FrameState::Resident(r) => r,
+            _ => return false,
         };
-        match self.frames.state(install.frame) {
-            FrameState::Resident(r) if r.obj == install.obj && r.vpage == install.vpage => {}
-            _ => {
-                self.loading.remove(pos);
+        let dirty = imu.tlb().entry(victim.0).dirty;
+        imu.tlb_mut().invalidate(victim.0);
+        out.imu += self.cost.tlb_update_time();
+        self.policy.on_evict(resident.obj, resident.vpage);
+        self.counters.incr("eviction");
+        if dirty {
+            self.frames.begin_evict(victim);
+            self.submit_writeback(
+                victim,
+                resident,
+                Some(ChainedLoad {
+                    obj,
+                    vpage,
+                    demand: true,
+                }),
+                dpram,
+                out,
+            );
+        } else {
+            self.frames.evict(victim);
+            self.frames.begin_load(victim, obj, vpage);
+            self.submit_load(obj, vpage, victim, true, imu, dpram, out);
+        }
+        true
+    }
+
+    /// Allocates a frame for a speculative overlapped load — a free
+    /// frame, else a *clean* policy-chosen victim (pinned frames are
+    /// invisible; speculation never pays a write-back) — and starts the
+    /// transfer. Returns `false` when no frame qualifies.
+    fn start_prefetch_load(
+        &mut self,
+        obj: ObjectId,
+        vpage: u32,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        out: &mut ServiceTimes,
+    ) -> bool {
+        let frame = if let Some(f) = self.frames.find_free() {
+            f
+        } else {
+            let views: Vec<FrameView> = self
+                .frame_views(imu)
+                .into_iter()
+                .filter(|v| !imu.tlb().entry(v.frame).dirty)
+                .collect();
+            if views.is_empty() {
                 return false;
             }
-        }
-        self.loading.remove(pos);
-        imu.tlb_mut().set_entry(
-            install.frame.0,
-            TlbEntry {
-                valid: true,
-                dirty: false,
-                vpage: VirtualPage {
-                    obj: install.obj,
-                    page: install.vpage,
-                },
-                frame: install.frame,
-            },
-        );
-        self.counters.incr("install_committed");
+            let victim = PageIndex(self.policy.choose_victim(&views));
+            imu.tlb_mut().invalidate(victim.0);
+            out.imu += self.cost.tlb_update_time();
+            if let Some(r) = self.frames.evict(victim) {
+                self.policy.on_evict(r.obj, r.vpage);
+            }
+            self.counters.incr("eviction");
+            victim
+        };
+        self.frames.begin_load(frame, obj, vpage);
+        self.submit_load(obj, vpage, frame, false, imu, dpram, out);
         true
+    }
+
+    /// Retries a deferred demand after a completion freed or unpinned
+    /// frames. Reports [`DemandReady`] directly if the page arrived by
+    /// other means (e.g. a speculative load of the same page).
+    fn retry_deferred(
+        &mut self,
+        t: SimTime,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+    ) -> Option<DemandReady> {
+        let (obj, vpage) = self.deferred_demand?;
+        if let Some(frame) = self.frames.frame_of(obj, vpage) {
+            self.deferred_demand = None;
+            return Some(DemandReady { at: t, frame });
+        }
+        if self.mark_inbound_demand(obj, vpage) {
+            self.deferred_demand = None;
+            return None;
+        }
+        let mut out = ServiceTimes::default();
+        if self.start_demand_load(obj, vpage, imu, dpram, &mut out) {
+            self.deferred_demand = None;
+            // Retry work happens under the completion interrupt, hidden
+            // from the synchronous stall only in the sense that the
+            // platform folds it into the demand wait it measures.
+            self.times.add("sw_imu", out.imu);
+            self.times.add("sw_dp", out.dp);
+        }
+        None
+    }
+
+    /// Applies one engine completion at bus-edge time `t`.
+    fn handle_completion(
+        &mut self,
+        completion: vcop_sim::dma::DmaCompletion,
+        t: SimTime,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+    ) -> Option<DemandReady> {
+        let idx = self
+            .in_flight
+            .iter()
+            .position(|f| f.ticket == completion.id)
+            .expect("completion for a tracked transfer");
+        let entry = self.in_flight.remove(idx);
+        match entry.kind {
+            InFlightKind::Load { demand } => {
+                self.frames
+                    .finish_load(entry.frame)
+                    .expect("completed load frame was Loading");
+                imu.tlb_mut().set_entry(
+                    entry.frame.0,
+                    TlbEntry {
+                        valid: true,
+                        dirty: false,
+                        vpage: VirtualPage {
+                            obj: entry.obj,
+                            page: entry.vpage,
+                        },
+                        frame: entry.frame,
+                    },
+                );
+                self.policy.on_load(entry.frame.0);
+                self.counters.incr("install_committed");
+                if demand {
+                    // Stall accounting (wait time, completion interrupt,
+                    // resume) is the platform's: it knows the fault time.
+                    Some(DemandReady {
+                        at: t,
+                        frame: entry.frame,
+                    })
+                } else {
+                    // Fully hidden under coprocessor execution: the bus
+                    // time goes to the separate hidden account, the
+                    // completion interrupt to the serial `sw_imu` sum.
+                    self.times
+                        .add("dma_hidden", self.bus_time(completion.bus_cycles));
+                    self.times.add("sw_imu", self.cost.dma_completion_time());
+                    self.retry_deferred(t, imu, dpram)
+                }
+            }
+            InFlightKind::Writeback { then_load } => {
+                match then_load {
+                    Some(chain) => {
+                        self.frames
+                            .retarget_load(entry.frame, chain.obj, chain.vpage)
+                            .expect("completed write-back frame was Evicting");
+                        let mut out = ServiceTimes::default();
+                        self.submit_load(
+                            chain.obj,
+                            chain.vpage,
+                            entry.frame,
+                            chain.demand,
+                            imu,
+                            dpram,
+                            &mut out,
+                        );
+                        self.times.add("sw_imu", out.imu);
+                        if !chain.demand {
+                            self.times
+                                .add("dma_hidden", self.bus_time(completion.bus_cycles));
+                        }
+                    }
+                    None => {
+                        self.frames.finish_evict(entry.frame);
+                        self.times
+                            .add("dma_hidden", self.bus_time(completion.bus_cycles));
+                    }
+                }
+                self.times.add("sw_imu", self.cost.dma_completion_time());
+                self.retry_deferred(t, imu, dpram)
+            }
+        }
+    }
+
+    /// Advances the asynchronous DMA engine's bus clock up to `now`,
+    /// applying every completion that occurs on the way: finished loads
+    /// become valid mappings, coalesced write-backs chain into their
+    /// loads, and a deferred demand is retried. Returns the demand-page
+    /// arrival, if it happened, so the platform can model the completion
+    /// interrupt and resume the coprocessor.
+    ///
+    /// Cheap when idle: with nothing queued the bus clock fast-forwards
+    /// past `now` without visiting edges.
+    pub fn advance_dma(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        now: SimTime,
+    ) -> Option<DemandReady> {
+        self.dma.as_ref()?;
+        let mut demand_ready = None;
+        loop {
+            if !self.dma.as_ref().expect("checked above").busy() {
+                self.bus_clock
+                    .as_mut()
+                    .expect("overlap clock")
+                    .fast_forward_past(now);
+                break;
+            }
+            let clock = self.bus_clock.as_mut().expect("overlap clock");
+            if clock.next_edge() > now {
+                break;
+            }
+            let t = clock.advance();
+            if let Some(completion) = self.dma.as_mut().expect("checked above").tick() {
+                if let Some(ready) = self.handle_completion(completion, t, imu, dpram) {
+                    demand_ready = Some(ready);
+                }
+            }
+        }
+        demand_ready
+    }
+
+    /// Whether any DMA transfer is queued or in flight.
+    pub fn dma_busy(&self) -> bool {
+        self.dma.as_ref().is_some_and(|d| d.busy())
+    }
+
+    /// Number of frames pinned by in-flight transfers.
+    pub fn pinned_frames(&self) -> usize {
+        self.frames.pinned_count()
+    }
+
+    /// Credits the demand-stall components the platform measured: the
+    /// DMA wait (data movement the coprocessor blocked on → `sw_dp`) and
+    /// the completion-interrupt + resume CPU work (→ `sw_imu`).
+    pub fn credit_demand_stall(&mut self, dp: SimTime, imu: SimTime) {
+        self.times.add("sw_dp", dp);
+        self.times.add("sw_imu", imu);
+    }
+
+    /// Aborts every in-flight transfer (`FPGA_EXECUTE` teardown or a new
+    /// execution's setup): the engine queues are dropped, `Loading`
+    /// frames return to `Free` unmapped, and `Evicting` frames are
+    /// released (their user-buffer copy was staged at submission, so no
+    /// data is lost). No frame stays pinned.
+    fn cancel_in_flight(&mut self, imu: &mut Imu) {
+        if let Some(engine) = &mut self.dma {
+            engine.cancel_all();
+        }
+        for entry in std::mem::take(&mut self.in_flight) {
+            match entry.kind {
+                InFlightKind::Load { .. } => {
+                    self.frames.cancel_load(entry.frame);
+                    imu.tlb_mut().invalidate(entry.frame.0);
+                }
+                InFlightKind::Writeback { .. } => {
+                    self.frames.finish_evict(entry.frame);
+                }
+            }
+            self.counters.incr("dma_cancelled");
+        }
+        self.deferred_demand = None;
     }
 
     /// Services a translation fault: the *Page Fault* request of
@@ -617,19 +1029,47 @@ impl Vim {
                 }
                 self.policy.on_fault(vpage.obj, vpage.page);
 
-                // An overlapped prefetch of exactly this page may still
-                // be in flight: the caller waits for it rather than
-                // copying twice.
-                if let Some(&(_, _, frame)) = self
-                    .loading
-                    .iter()
-                    .find(|&&(o, vp, _)| o == vpage.obj && vp == vpage.page)
-                {
-                    self.counters.incr("fault_on_loading");
+                if self.config.overlap {
+                    // Overlapped paging: enqueue the demand movement and
+                    // return with the coprocessor still stalled; it
+                    // resumes on the completion interrupt, not at
+                    // syscall/service return.
+                    if self.mark_inbound_demand(vpage.obj, vpage.page) {
+                        // The page is already inbound (a speculative load
+                        // raced the access): just wait for it.
+                        self.counters.incr("fault_on_loading");
+                    } else if !self.start_demand_load(vpage.obj, vpage.page, imu, dpram, &mut out) {
+                        if self.in_flight.is_empty() {
+                            return Err(VimError::NoFrameAvailable);
+                        }
+                        // Every candidate frame is pinned by an in-flight
+                        // transfer; retry as completions free them.
+                        self.deferred_demand = Some((vpage.obj, vpage.page));
+                        self.counters.incr("demand_deferred");
+                    }
+
+                    // Speculative loads ride along: free frames first,
+                    // then clean cold victims (pinned frames are
+                    // invisible to the policy, so in-flight pages are
+                    // never stolen).
+                    for target in self.config.prefetch.targets(vpage.page, pages, sequential) {
+                        if self.frames.frame_of(vpage.obj, target).is_some()
+                            || self.is_inbound(vpage.obj, target)
+                            || self.deferred_demand == Some((vpage.obj, target))
+                        {
+                            continue;
+                        }
+                        if !self.start_prefetch_load(vpage.obj, target, imu, dpram, &mut out) {
+                            break;
+                        }
+                        self.counters.incr("prefetch");
+                    }
+
+                    self.times.add("sw_dp", out.dp);
                     self.times.add("sw_imu", out.imu);
                     return Ok(FaultService {
                         times: out,
-                        wait_for: Some(frame),
+                        pending: true,
                     });
                 }
 
@@ -646,11 +1086,7 @@ impl Vim {
                     let Some(slot) = self.allocate_prefetch_frame(imu, frame, &mut out) else {
                         break;
                     };
-                    if self.config.overlap_prefetch {
-                        self.install_page_async(vpage.obj, target, slot, imu, dpram, &mut out);
-                    } else {
-                        self.install_page(vpage.obj, target, slot, imu, dpram, &mut out);
-                    }
+                    self.install_page(vpage.obj, target, slot, imu, dpram, &mut out);
                     self.counters.incr("prefetch");
                 }
             }
@@ -662,7 +1098,7 @@ impl Vim {
         self.times.add("sw_imu", out.imu);
         Ok(FaultService {
             times: out,
-            wait_for: None,
+            pending: false,
         })
     }
 
@@ -688,6 +1124,10 @@ impl Vim {
             ..Default::default()
         };
         self.reap_param_frame(imu);
+        // Outstanding speculative transfers are aborted before teardown;
+        // the final write-backs below are synchronous (part of the done
+        // service, as in the paper).
+        self.cancel_in_flight(imu);
         for (frame, resident) in self.frames.residents() {
             if imu.tlb().entry(frame.0).dirty {
                 out.dp += self.writeback_page(resident.obj, resident.vpage, frame, dpram);
@@ -695,8 +1135,6 @@ impl Vim {
             imu.tlb_mut().invalidate(frame.0);
             self.frames.evict(frame);
         }
-        self.loading.clear();
-        self.pending_out.clear();
         imu.clear_done();
         self.times.add("sw_dp", out.dp);
         self.times.add("sw_imu", out.imu);
@@ -913,7 +1351,7 @@ mod tests {
             svc.times.imu > SimTime::ZERO,
             "decode + TLB update happened"
         );
-        assert_eq!(svc.wait_for, None);
+        assert!(!svc.pending);
         let got = rig.step_until_complete(16);
         let expect = u32::from_le_bytes(data[2400..2404].try_into().unwrap());
         assert_eq!(got, expect);
@@ -1061,5 +1499,220 @@ mod tests {
         let imu_t = rig.vim.times().get("sw_imu");
         assert!(dp > SimTime::ZERO, "preload copies accounted");
         assert!(imu_t > SimTime::ZERO, "syscall + TLB updates accounted");
+    }
+
+    fn overlap_config() -> VimConfig {
+        VimConfig {
+            preload: false,
+            overlap: true,
+            dma_channels: 1,
+            ..VimConfig::prototype(FRAMES, PAGE)
+        }
+    }
+
+    impl Rig {
+        /// Advances the DMA bus clock tick by tick until the demand
+        /// page arrives.
+        fn pump_dma_until_ready(&mut self, max: usize) -> DemandReady {
+            for _ in 0..max {
+                self.now += SimTime::from_ns(25);
+                if let Some(r) = self
+                    .vim
+                    .advance_dma(&mut self.imu, &mut self.dpram, self.now)
+                {
+                    return r;
+                }
+            }
+            panic!("demand DMA never completed within {max} ticks");
+        }
+
+        /// Runs the coprocessor request to completion with the platform's
+        /// overlapped-paging protocol: DMA completions drained each edge,
+        /// faults parked on the engine, resume on the demand arrival.
+        fn step_until_complete_async(&mut self, max: usize) -> u32 {
+            for _ in 0..max {
+                if self
+                    .vim
+                    .advance_dma(&mut self.imu, &mut self.dpram, self.now)
+                    .is_some()
+                {
+                    self.imu.resume();
+                }
+                if self.step() == Some(vcop_imu::imu::ImuEvent::Fault) {
+                    let svc = self
+                        .vim
+                        .service_fault(&mut self.imu, &mut self.dpram)
+                        .unwrap();
+                    assert!(svc.pending, "overlap mode parks every fault on the engine");
+                }
+                if let Some(done) = self.port.take_completed() {
+                    return done.data;
+                }
+            }
+            panic!("no completion within {max} edges");
+        }
+    }
+
+    #[test]
+    fn overlap_demand_fault_resolves_on_completion_irq() {
+        let mut rig = Rig::new(overlap_config());
+        let data = patterned(2 * PAGE, 9);
+        rig.map(0, data.clone(), Direction::In);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        rig.start();
+        rig.port.issue_read(ObjectId(0), 600);
+        rig.step_until_fault(16);
+        let svc = rig.vim.service_fault(&mut rig.imu, &mut rig.dpram).unwrap();
+        assert!(svc.pending, "demand movement went to the DMA engine");
+        assert!(rig.vim.dma_busy());
+        assert_eq!(rig.vim.pinned_frames(), 1);
+        // The coprocessor stays stalled while the transfer is in flight.
+        for _ in 0..4 {
+            assert_eq!(rig.step(), None);
+        }
+        let ready = rig.pump_dma_until_ready(100_000);
+        assert!(ready.at > SimTime::ZERO);
+        assert_eq!(rig.vim.pinned_frames(), 0, "arrival unpins the frame");
+        assert!(!rig.vim.dma_busy());
+        rig.imu.resume();
+        let got = rig.step_until_complete(16);
+        let expect = u32::from_le_bytes(data[2400..2404].try_into().unwrap());
+        assert_eq!(got, expect);
+        assert_eq!(rig.vim.counters().get("dma_transfer"), 1);
+        assert_eq!(rig.vim.counters().get("install_committed"), 1);
+    }
+
+    #[test]
+    fn overlap_coalesces_dirty_eviction_with_demand_load() {
+        let mut rig = Rig::new(overlap_config());
+        rig.map(0, vec![0u8; 9 * PAGE], Direction::InOut);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        rig.start();
+        let elems_per_page = (PAGE / 4) as u32;
+
+        // Dirty page 0, then fill the remaining allocatable frames.
+        rig.port.issue_write(ObjectId(0), 5, 0xAB);
+        rig.step_until_complete_async(100_000);
+        for vp in 1..7u32 {
+            rig.port.issue_read(ObjectId(0), vp * elems_per_page);
+            rig.step_until_complete_async(100_000);
+        }
+        assert_eq!(rig.vim.counters().get("eviction"), 0);
+
+        // Page 7 faults: FIFO picks dirty page 0; its write-back and the
+        // incoming load run back-to-back on the same frame (the frame
+        // turns Evicting, then Loading — never Free in between).
+        rig.port.issue_read(ObjectId(0), 7 * elems_per_page);
+        rig.step_until_fault(32);
+        assert!(
+            rig.vim
+                .service_fault(&mut rig.imu, &mut rig.dpram)
+                .unwrap()
+                .pending
+        );
+        assert_eq!(rig.vim.counters().get("page_writeback"), 1);
+        assert_eq!(rig.vim.counters().get("eviction"), 1);
+        assert_eq!(rig.vim.pinned_frames(), 1);
+        rig.pump_dma_until_ready(200_000);
+        rig.imu.resume();
+        rig.step_until_complete(32);
+        let buf = rig.vim.object(ObjectId(0)).unwrap().data();
+        assert_eq!(buf[20], 0xAB, "dirty data reached the user buffer");
+    }
+
+    #[test]
+    fn overlap_prefetch_steals_clean_cold_frames() {
+        let mut rig = Rig::new(VimConfig {
+            prefetch: PrefetchMode::NextPage { degree: 1 },
+            ..overlap_config()
+        });
+        let data = patterned(10 * PAGE, 4);
+        rig.map(0, data.clone(), Direction::In);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        rig.start();
+        let elems_per_page = (PAGE / 4) as u32;
+        for vp in 0..10u32 {
+            let elem = vp * elems_per_page;
+            rig.port.issue_read(ObjectId(0), elem);
+            let got = rig.step_until_complete_async(400_000);
+            let base = elem as usize * 4;
+            let expect = u32::from_le_bytes(data[base..base + 4].try_into().unwrap());
+            assert_eq!(got, expect, "page {vp}");
+            // Per-page compute time: long enough for the in-flight
+            // speculative load to land underneath it.
+            for _ in 0..2000 {
+                if rig
+                    .vim
+                    .advance_dma(&mut rig.imu, &mut rig.dpram, rig.now)
+                    .is_some()
+                {
+                    rig.imu.resume();
+                }
+                rig.step();
+            }
+        }
+        let c = rig.vim.counters();
+        assert!(c.get("prefetch") > 0, "speculative loads happened");
+        assert!(
+            c.get("fault") < 10,
+            "prefetch hid some faults ({} of 10 pages faulted)",
+            c.get("fault")
+        );
+        assert!(
+            c.get("eviction") > 0,
+            "with all frames warm, speculation stole clean cold frames"
+        );
+        assert_eq!(
+            c.get("page_writeback"),
+            0,
+            "speculation never pays a write-back"
+        );
+        assert_eq!(rig.vim.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn teardown_cancels_in_flight_transfers_without_pinned_frames() {
+        let mut rig = Rig::new(VimConfig {
+            prefetch: PrefetchMode::NextPage { degree: 2 },
+            ..overlap_config()
+        });
+        rig.map(0, vec![0u8; 4 * PAGE], Direction::In);
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        rig.start();
+        rig.port.issue_read(ObjectId(0), 0);
+        rig.step_until_fault(16);
+        let svc = rig.vim.service_fault(&mut rig.imu, &mut rig.dpram).unwrap();
+        assert!(svc.pending);
+        assert!(rig.vim.dma_busy());
+        assert_eq!(
+            rig.vim.pinned_frames(),
+            3,
+            "demand + two prefetches in flight"
+        );
+        // A new FPGA_EXECUTE tears the old operation down: every queued
+        // transfer dies and no completion ever fires for it.
+        rig.vim
+            .prepare_execute(&mut rig.imu, &mut rig.dpram, &[])
+            .unwrap();
+        assert!(!rig.vim.dma_busy());
+        assert_eq!(rig.vim.pinned_frames(), 0);
+        assert_eq!(rig.vim.counters().get("dma_cancelled"), 3);
+        assert_eq!(rig.vim.counters().get("install_committed"), 0);
+        let far = rig.now + SimTime::from_ms(10);
+        assert!(
+            rig.vim
+                .advance_dma(&mut rig.imu, &mut rig.dpram, far)
+                .is_none(),
+            "cancelled transfers never complete"
+        );
+        assert!(rig.imu.tlb().valid_indices().is_empty());
     }
 }

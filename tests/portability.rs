@@ -145,7 +145,7 @@ fn overlapped_prefetch_hides_copy_time() {
         32,
         &ExperimentOptions {
             prefetch: PrefetchMode::NextPage { degree: 1 },
-            overlap_prefetch: true,
+            overlap: true,
             ..Default::default()
         },
     );
@@ -161,20 +161,26 @@ fn overlapped_prefetch_hides_copy_time() {
 }
 
 #[test]
-fn overlap_without_prefetch_is_inert() {
+fn overlap_without_prefetch_still_speeds_demand_paging() {
+    // Without prefetch, overlapped paging cannot hide work under
+    // execution (the coprocessor waits on every movement), but the
+    // demand path now costs a DMA burst transfer instead of a CPU copy
+    // loop: same fault behaviour, bit-exact results (checked inside
+    // idea_vim), strictly shorter wall time.
     let base = idea_vim(16, &ExperimentOptions::default());
     let overlap_only = idea_vim(
         16,
         &ExperimentOptions {
-            overlap_prefetch: true,
+            overlap: true,
             ..Default::default()
         },
     );
     assert_eq!(base.report.faults, overlap_only.report.faults);
-    assert_eq!(base.report.total(), overlap_only.report.total());
-    assert_eq!(
-        overlap_only.report.overlap_saved(),
-        vcop_sim::time::SimTime::ZERO
+    assert!(
+        overlap_only.report.total() < base.report.total(),
+        "DMA demand paging {} !< CPU copy loop {}",
+        overlap_only.report.total(),
+        base.report.total()
     );
 }
 

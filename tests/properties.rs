@@ -226,6 +226,108 @@ proptest! {
     }
 }
 
+/// Builds the scripted workload's deterministic initial buffers.
+fn initial_buffers(sizes: &[u32]) -> Vec<Vec<u8>> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(o, &n)| {
+            (0..n)
+                .flat_map(|i| (i.wrapping_mul(2_654_435_761) ^ o as u32).to_le_bytes())
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `script` through a freshly built system under the given paging
+/// configuration and returns the final object buffers.
+fn run_scripted(
+    script: &[Op],
+    buffers: &[Vec<u8>],
+    policy: PolicyKind,
+    prefetch: PrefetchMode,
+    overlap: bool,
+    channels: usize,
+) -> Vec<Vec<u8>> {
+    let mut system = SystemBuilder::epxa1()
+        .policy(policy)
+        .prefetch(prefetch)
+        .overlap(overlap)
+        .dma_channels(channels)
+        .build();
+    let bs = Bitstream::builder("scripted").build();
+    system
+        .fpga_load(
+            &bs.to_bytes(),
+            Box::new(ScriptedCoprocessor::new(script.to_vec())),
+        )
+        .expect("load");
+    for (o, buf) in buffers.iter().enumerate() {
+        system
+            .fpga_map_object(
+                ObjectId(o as u8),
+                buf.clone(),
+                ElemSize::U32,
+                Direction::InOut,
+                MapHints::default(),
+            )
+            .expect("map");
+    }
+    system.fpga_execute(&[0xC0FF_EE00]).expect("execute");
+    (0..buffers.len())
+        .map(|o| system.take_object(ObjectId(o as u8)).expect("mapped"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The safety proof for overlapped paging: on one randomised access
+    /// script, every `(policy, prefetch, overlap, DMA channel count)`
+    /// combination — the synchronous pager plus overlapped paging with
+    /// 1–4 channels — produces exactly the state a flat memory would.
+    #[test]
+    fn paging_matrix_is_transparent_under_async_dma(
+        sizes in proptest::collection::vec(64u32..1600, 3),
+        seed_ops in proptest::collection::vec(any::<(u32, u32, bool)>(), 30..90),
+    ) {
+        let script: Vec<Op> = seed_ops
+            .into_iter()
+            .map(|(raw_obj, raw, is_read)| {
+                let obj = (raw_obj as usize) % sizes.len();
+                let index = raw % sizes[obj];
+                if is_read {
+                    Op::Read { obj: obj as u8, index }
+                } else {
+                    Op::Write { obj: obj as u8, index, value: raw.rotate_left(9) }
+                }
+            })
+            .collect();
+        let initial = initial_buffers(&sizes);
+        let mut expected = initial.clone();
+        model_run(&mut expected, &script, 0xC0FF_EE00);
+
+        for policy in [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Random, PolicyKind::Clock] {
+            for prefetch in [PrefetchMode::None, PrefetchMode::NextPage { degree: 1 }] {
+                // The synchronous pager, then overlapped paging at every
+                // supported channel count.
+                let mut paging = vec![(false, 1usize)];
+                paging.extend((1..=4).map(|c| (true, c)));
+                for (overlap, channels) in paging {
+                    let got = run_scripted(&script, &initial, policy, prefetch, overlap, channels);
+                    for (o, (g, e)) in got.iter().zip(&expected).enumerate() {
+                        prop_assert_eq!(
+                            g, e,
+                            "{:?}/{:?} overlap={} channels={} object {} diverged",
+                            policy, prefetch, overlap, channels, o
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     /// IDEA encrypt/decrypt round-trips for arbitrary keys and data.
     #[test]

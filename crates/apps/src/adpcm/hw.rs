@@ -15,7 +15,7 @@
 //! * object `1` (`OUT`, 16-bit elements): PCM samples;
 //! * parameter word `0`: input length in bytes.
 
-use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
 
 use crate::adpcm::codec::{decode_nibble, AdpcmState};
 
@@ -181,6 +181,32 @@ impl Coprocessor for AdpcmCoprocessor {
 
     fn is_finished(&self) -> bool {
         self.state == State::Finished
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            State::WaitStart => gate(port.started()),
+            State::FetchParam | State::ReadByte => gate(port.can_issue()),
+            State::AwaitParam | State::AwaitByte | State::AwaitWrite => {
+                gate(port.peek_completed().is_some())
+            }
+            // The last compute cycle issues the sample write, so it is
+            // gated on a free port slot; the countdown before it is not.
+            State::Compute { remaining } if remaining > 1 => Wake::In(u64::from(remaining)),
+            State::Compute { .. } => gate(port.can_issue()),
+            State::Finished => Wake::Never,
+        }
+    }
+
+    fn skip(&mut self, n: u64) {
+        self.cycles += n;
+        if let State::Compute { remaining } = self.state {
+            let dec = u32::try_from(n).unwrap_or(u32::MAX);
+            self.state = State::Compute {
+                remaining: remaining.saturating_sub(dec).max(1),
+            };
+        }
     }
 }
 

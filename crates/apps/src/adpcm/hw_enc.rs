@@ -15,7 +15,7 @@
 //! * parameter word `0`: sample count (rounded down to even by the
 //!   application, as in the file format).
 
-use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
 
 use crate::adpcm::codec::{encode_sample, AdpcmState};
 
@@ -182,6 +182,28 @@ impl Coprocessor for AdpcmEncCoprocessor {
 
     fn is_finished(&self) -> bool {
         self.state == State::Finished
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            State::WaitStart => gate(port.started()),
+            State::FetchParam | State::ReadSample | State::WriteByte => gate(port.can_issue()),
+            State::AwaitParam | State::AwaitSample | State::AwaitWrite => {
+                gate(port.peek_completed().is_some())
+            }
+            State::Compute { remaining } => Wake::In(u64::from(remaining.max(1))),
+            State::Finished => Wake::Never,
+        }
+    }
+
+    fn skip(&mut self, n: u64) {
+        self.cycles += n;
+        if let State::Compute { remaining } = self.state {
+            self.state = State::Compute {
+                remaining: remaining - n as u32,
+            };
+        }
     }
 }
 

@@ -25,14 +25,23 @@ pub fn mul<C: OpCounter>(a: u16, b: u16, ops: &mut C) -> u16 {
     ops.mul(1);
     ops.branch(2);
     ops.alu(3);
-    let a32 = if a == 0 { 0x1_0000u32 } else { u32::from(a) };
-    let b32 = if b == 0 { 0x1_0000u32 } else { u32::from(b) };
-    let p = (u64::from(a32) * u64::from(b32)) % 65_537;
     ops.div(1);
-    if p == 0x1_0000 {
-        0
+    // Division-free reduction: 2^16 ≡ −1 (mod 2^16 + 1), so the product's
+    // halves reduce as `lo − hi` (borrow folded in branchlessly), and a
+    // zero operand (representing 2^16) turns into a negation. The op
+    // tally above still models the naive modular multiply of the
+    // software reference.
+    let p = u32::from(a) * u32::from(b);
+    if p != 0 {
+        let lo = p & 0xFFFF;
+        let hi = p >> 16;
+        (lo.wrapping_sub(hi).wrapping_add(u32::from(lo < hi)) & 0xFFFF) as u16
     } else {
-        p as u16
+        // 65537 is prime, so p == 0 means a or b was the zero encoding.
+        (0x1_0001u32
+            .wrapping_sub(u32::from(a))
+            .wrapping_sub(u32::from(b))
+            & 0xFFFF) as u16
     }
 }
 

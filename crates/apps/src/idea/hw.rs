@@ -18,7 +18,7 @@
 //!   the key schedule through the parameter page and then invalidating it
 //!   is exactly the paper's generic parameter-passing mechanism.
 
-use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
 
 use crate::idea::cipher::{crypt_block, SUBKEYS};
 
@@ -222,6 +222,29 @@ impl Coprocessor for IdeaCoprocessor {
 
     fn is_finished(&self) -> bool {
         self.state == State::Finished
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            State::WaitStart => gate(port.started()),
+            State::FetchParam { .. } => gate(port.can_issue()),
+            State::AwaitParam { .. } => gate(port.peek_completed().is_some()),
+            State::ReadPhase { issued, .. } | State::WritePhase { issued, .. } => {
+                gate(port.peek_completed().is_some() || (issued < 4 && port.can_issue()))
+            }
+            State::Compute { remaining } => Wake::In(u64::from(remaining.max(1))),
+            State::Finished => Wake::Never,
+        }
+    }
+
+    fn skip(&mut self, n: u64) {
+        self.cycles += n;
+        if let State::Compute { remaining } = self.state {
+            self.state = State::Compute {
+                remaining: remaining - n as u32,
+            };
+        }
     }
 }
 

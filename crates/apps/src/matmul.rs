@@ -14,7 +14,7 @@
 //!
 //! Arithmetic is wrapping `u32`, so hardware and software agree exactly.
 
-use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
 
 use crate::counter::OpCounter;
 
@@ -238,6 +238,30 @@ impl Coprocessor for MatMulCoprocessor {
 
     fn is_finished(&self) -> bool {
         self.state == State::Finished
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            State::WaitStart => gate(port.started()),
+            State::FetchParam | State::ReadA | State::ReadB | State::WriteC => {
+                gate(port.can_issue())
+            }
+            State::AwaitParam | State::AwaitA | State::AwaitB | State::AwaitC => {
+                gate(port.peek_completed().is_some())
+            }
+            State::Mac { remaining } => Wake::In(u64::from(remaining.max(1))),
+            State::Finished => Wake::Never,
+        }
+    }
+
+    fn skip(&mut self, n: u64) {
+        self.cycles += n;
+        if let State::Mac { remaining } = self.state {
+            self.state = State::Mac {
+                remaining: remaining - n as u32,
+            };
+        }
     }
 }
 

@@ -24,7 +24,7 @@
 
 use core::fmt;
 
-use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
 
 /// One replayed access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -309,6 +309,19 @@ impl Coprocessor for ReplayCoprocessor {
 
     fn is_finished(&self) -> bool {
         self.state == State::Finished
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            State::WaitStart => gate(port.started()),
+            State::FetchParam => gate(port.can_issue()),
+            State::AwaitParam | State::Await => gate(port.peek_completed().is_some()),
+            // A drained trace finishes unconditionally on the next edge.
+            State::Issue if self.pos == self.ops.len() => Wake::In(1),
+            State::Issue => gate(port.can_issue()),
+            State::Finished => Wake::Never,
+        }
     }
 }
 

@@ -14,7 +14,7 @@
 //! * object `2` (`OUT`, 32-bit elements): `C`;
 //! * parameter word `0`: element count (`SIZE`).
 
-use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
 
 use crate::counter::OpCounter;
 
@@ -173,6 +173,24 @@ impl Coprocessor for VecAddCoprocessor {
 
     fn is_finished(&self) -> bool {
         self.state == State::Finished
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            State::WaitStart => gate(port.started()),
+            State::FetchParam | State::ReadA | State::ReadB | State::WriteC => {
+                gate(port.can_issue())
+            }
+            State::AwaitParam | State::AwaitA | State::AwaitB | State::AwaitC => {
+                gate(port.peek_completed().is_some())
+            }
+            State::Finished => Wake::Never,
+        }
+    }
+
+    fn skip(&mut self, n: u64) {
+        self.cycles += n;
     }
 }
 

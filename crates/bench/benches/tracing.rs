@@ -1,0 +1,67 @@
+//! Criterion bench for the tracing fast path: a [`TraceSink`] that is
+//! disabled must cost nothing beyond a predictable branch, so the
+//! simulation kernels can leave their instrumentation in place on the
+//! hot path. The `disabled` series should be indistinguishable from the
+//! `baseline` (no sink at all) series; `enabled` shows the real
+//! recording cost for contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use vcop_sim::time::SimTime;
+use vcop_sim::trace::{SignalValue, TraceSink};
+
+const RECORDS: u64 = 4096;
+
+fn bench_trace_sink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_sink");
+    group.throughput(Throughput::Elements(RECORDS));
+
+    // No sink in the loop at all: the floor the disabled sink must match.
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..RECORDS {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("disabled", |b| {
+        let mut sink = TraceSink::disabled();
+        // A disabled sink has no signals; any id is ignored unseen.
+        let mut probe = TraceSink::enabled();
+        let id = probe.tracer_mut().expect("enabled").add_signal("sig", 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..RECORDS {
+                sink.record(
+                    SimTime::from_ps(i),
+                    black_box(id),
+                    SignalValue::Bit(i & 1 == 0),
+                );
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let mut sink = TraceSink::enabled();
+            let id = sink.tracer_mut().expect("enabled").add_signal("sig", 1);
+            let mut acc = 0u64;
+            for i in 0..RECORDS {
+                sink.record(SimTime::from_ps(i), id, SignalValue::Bit(i & 1 == 0));
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_sink);
+criterion_main!(benches);

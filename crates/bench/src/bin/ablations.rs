@@ -1,6 +1,6 @@
 //! Ablation studies over the design choices the paper calls out.
 //!
-//! Usage: `ablations [pipeline|transfer|policy|device|all]`
+//! Usage: `ablations [pipeline|transfer|policy|device|all] [--json <path>]`
 //!
 //! * `pipeline` — the pipelined IMU the authors announce ("expected to
 //!   mask almost completely the translation overhead", Section 4.1);
@@ -12,15 +12,21 @@
 //! * `device`   — the porting claim of Section 4: EPXA4/EPXA10 need only
 //!   a "module recompile" (a different `DeviceProfile`), application and
 //!   coprocessor untouched.
+//!
+//! With `--json <path>` every arm appends its wall clock (and, for
+//! `overlap`, per-point throughput) to the shared measurement file.
 
 use std::env;
 
-use vcop::{PolicyKind, PrefetchMode, TransferMode};
-use vcop_bench::experiments::{adpcm_vim, idea_vim, matmul_vim, ExperimentOptions};
+use vcop::{ExecutionReport, PolicyKind, PrefetchMode, TransferMode};
+use vcop_bench::experiments::{
+    adpcm_vim, idea_vim, matmul_vim, AdpcmHarness, ExperimentOptions, IdeaHarness,
+};
+use vcop_bench::runner::{measure, take_json_arg, SectionRecord, WorkloadMeasurement};
 use vcop_bench::table::{ms, speedup, Table};
 use vcop_fabric::DeviceProfile;
 
-fn pipeline() {
+fn pipeline() -> SectionRecord {
     println!("== abl-pipe: pipelined IMU (IDEA workload, 8 KB) ==\n");
     let mut table = Table::new(vec!["IMU", "HW", "VIM total", "speedup"]);
     for (name, depth) in [("prototype (depth 1)", 1usize), ("pipelined (depth 4)", 4)] {
@@ -40,9 +46,10 @@ fn pipeline() {
     println!("(the IDEA core bursts its four reads/writes per block, so a deeper");
     println!("IMU overlaps their translations and recovers most of the overhead —");
     println!("the effect the authors predicted for their pipelined IMU)\n");
+    SectionRecord::default()
 }
 
-fn transfer() {
+fn transfer() -> SectionRecord {
     println!("== abl-xfer: page transfer strategy (adpcmdecode 8 KB) ==\n");
     let mut table = Table::new(vec!["VIM copies", "SW (DP)", "VIM total", "speedup"]);
     let variants: [(&str, ExperimentOptions); 4] = [
@@ -74,9 +81,10 @@ fn transfer() {
         ]);
     }
     println!("{}", table.render());
+    SectionRecord::default()
 }
 
-fn policy() {
+fn policy() -> SectionRecord {
     println!("== abl-policy: replacement policy and prefetch (IDEA 32 KB) ==\n");
     let mut table = Table::new(vec!["policy", "prefetch", "faults", "SW (DP)", "VIM total"]);
     for kind in [
@@ -137,92 +145,134 @@ fn policy() {
         }
     }
     println!("{}", table.render());
+    SectionRecord::default()
 }
 
-fn overlap() {
+/// The overlapped-paging configurations: display name, JSON slug,
+/// prefetch, overlap, DMA channels.
+const OVERLAP_CONFIGS: [(&str, &str, PrefetchMode, bool, usize); 7] = [
+    ("sync, no prefetch", "sync", PrefetchMode::None, false, 1),
+    (
+        "sync, prefetch d1",
+        "sync_d1",
+        PrefetchMode::NextPage { degree: 1 },
+        false,
+        1,
+    ),
+    (
+        "overlap, no prefetch",
+        "overlap",
+        PrefetchMode::None,
+        true,
+        2,
+    ),
+    (
+        "overlap d1, 1 ch",
+        "overlap_d1_1ch",
+        PrefetchMode::NextPage { degree: 1 },
+        true,
+        1,
+    ),
+    (
+        "overlap d1, 2 ch",
+        "overlap_d1_2ch",
+        PrefetchMode::NextPage { degree: 1 },
+        true,
+        2,
+    ),
+    (
+        "overlap d1, 4 ch",
+        "overlap_d1_4ch",
+        PrefetchMode::NextPage { degree: 1 },
+        true,
+        4,
+    ),
+    (
+        "overlap d2, 2 ch",
+        "overlap_d2_2ch",
+        PrefetchMode::NextPage { degree: 2 },
+        true,
+        2,
+    ),
+];
+
+/// Sweeps the overlap configurations through one warmed-up system,
+/// `point` re-running the workload after each reconfiguration.
+fn overlap_app(
+    label: &str,
+    slug: &str,
+    record: &mut SectionRecord,
+    mut point: impl FnMut(&ExperimentOptions) -> (ExecutionReport, f64),
+) {
+    println!("{label}:\n");
+    let mut table = Table::new(vec![
+        "VIM",
+        "faults",
+        "wall total",
+        "HW+SW sum",
+        "hidden CPU",
+        "hidden DMA",
+        "speedup",
+    ]);
+    for (name, config_slug, prefetch, overlap_on, channels) in OVERLAP_CONFIGS {
+        let opts = ExperimentOptions {
+            prefetch,
+            overlap: overlap_on,
+            dma_channels: channels,
+            ..Default::default()
+        };
+        let ((report, sp), wall) = measure(|| point(&opts));
+        table.row(vec![
+            name.to_owned(),
+            report.faults.to_string(),
+            ms(report.total()),
+            ms(report.cpu_and_hw_time()),
+            ms(report.overlap_saved()),
+            ms(report.dma_hidden),
+            speedup(sp),
+        ]);
+        record.workloads.push(WorkloadMeasurement {
+            name: format!("{slug}_{config_slug}"),
+            simulated_cycles: report.imu_edges + report.cp_cycles,
+            wall_seconds: wall,
+        });
+    }
+    println!("{}", table.render());
+}
+
+fn overlap() -> SectionRecord {
     println!("== abl-overlap: overlapped paging (async DMA engine) ==\n");
     println!("the paper's closing future work: \"prefetching ... allowing");
     println!("overlapping of processor and coprocessor execution\". Page");
     println!("movements run on a multi-channel DMA engine raising completion");
     println!("interrupts; prefetches and coalesced write-backs proceed under");
     println!("coprocessor execution (adpcm 8 KB / IDEA 32 KB, next-page");
-    println!("prefetch)\n");
-    let configs = [
-        ("sync, no prefetch", PrefetchMode::None, false, 1),
-        (
-            "sync, prefetch d1",
-            PrefetchMode::NextPage { degree: 1 },
-            false,
-            1,
-        ),
-        ("overlap, no prefetch", PrefetchMode::None, true, 2),
-        (
-            "overlap d1, 1 ch",
-            PrefetchMode::NextPage { degree: 1 },
-            true,
-            1,
-        ),
-        (
-            "overlap d1, 2 ch",
-            PrefetchMode::NextPage { degree: 1 },
-            true,
-            2,
-        ),
-        (
-            "overlap d1, 4 ch",
-            PrefetchMode::NextPage { degree: 1 },
-            true,
-            4,
-        ),
-        (
-            "overlap d2, 2 ch",
-            PrefetchMode::NextPage { degree: 2 },
-            true,
-            2,
-        ),
-    ];
-    for app in ["adpcm 8 KB", "IDEA 32 KB"] {
-        println!("{app}:\n");
-        let mut table = Table::new(vec![
-            "VIM",
-            "faults",
-            "wall total",
-            "HW+SW sum",
-            "hidden CPU",
-            "hidden DMA",
-            "speedup",
-        ]);
-        for (name, prefetch, overlap_on, channels) in configs {
-            let opts = ExperimentOptions {
-                prefetch,
-                overlap: overlap_on,
-                dma_channels: channels,
-                ..Default::default()
-            };
-            let (report, sp) = if app.starts_with("adpcm") {
-                let run = adpcm_vim(8, &opts);
-                let sp = run.speedup();
-                (run.report, sp)
-            } else {
-                let run = idea_vim(32, &opts);
-                let sp = run.speedup();
-                (run.report, sp)
-            };
-            table.row(vec![
-                name.to_owned(),
-                report.faults.to_string(),
-                ms(report.total()),
-                ms(report.cpu_and_hw_time()),
-                ms(report.overlap_saved()),
-                ms(report.dma_hidden),
-                speedup(sp),
-            ]);
-        }
-        println!("{}", table.render());
-    }
+    println!("prefetch). Each workload reuses one warmed-up system across");
+    println!("the configurations.\n");
+
+    let mut record = SectionRecord::default();
+    let base = ExperimentOptions::default();
+
+    let mut adpcm = AdpcmHarness::new(8, &base);
+    overlap_app("adpcm 8 KB", "adpcm_8kb", &mut record, |opts| {
+        adpcm.reconfigure(opts);
+        let run = adpcm.run();
+        let sp = run.speedup();
+        (run.report, sp)
+    });
+
+    let mut idea = IdeaHarness::new(32, &base);
+    overlap_app("IDEA 32 KB", "idea_32kb", &mut record, |opts| {
+        idea.reconfigure(opts);
+        let run = idea.run();
+        let sp = run.speedup();
+        (run.report, sp)
+    });
+
+    record
 }
 
-fn device() {
+fn device() -> SectionRecord {
     println!("== abl-device: porting across the device family (IDEA 32 KB) ==\n");
     println!("identical application code and coprocessor FSM; only the device");
     println!("profile (dual-port RAM size) changes — Section 4's porting claim\n");
@@ -246,9 +296,10 @@ fn device() {
         ]);
     }
     println!("{}", table.render());
+    SectionRecord::default()
 }
 
-fn pagesize() {
+fn pagesize() -> SectionRecord {
     println!("== abl-pagesize: interface page size (VIM tuning) ==\n");
     println!("the prototype uses 2 KB pages; smaller pages cut transfer waste on");
     println!("strided workloads at the price of more faults (fixed per-fault cost)\n");
@@ -285,9 +336,10 @@ fn pagesize() {
         }
         println!("{wl}:\n{}", table.render());
     }
+    SectionRecord::default()
 }
 
-fn sensitivity() {
+fn sensitivity() -> SectionRecord {
     println!("== abl-sens: sensitivity to the fixed OS overhead constants ==\n");
     println!("EXPERIMENTS.md claims the figure shapes are insensitive to 2x");
     println!("changes in the kernel-path constants because page copies dominate\n");
@@ -310,32 +362,44 @@ fn sensitivity() {
         ]);
     }
     println!("{}", table.render());
+    SectionRecord::default()
 }
 
+type Arm = (&'static str, fn() -> SectionRecord);
+
 fn main() {
-    let which = env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    match which.as_str() {
-        "pipeline" => pipeline(),
-        "transfer" => transfer(),
-        "policy" => policy(),
-        "overlap" => overlap(),
-        "pagesize" => pagesize(),
-        "sensitivity" => sensitivity(),
-        "device" => device(),
-        "all" => {
-            pipeline();
-            transfer();
-            policy();
-            overlap();
-            pagesize();
-            sensitivity();
-            device();
+    let (rest, json_path) = take_json_arg(env::args().skip(1).collect());
+    let which = rest.first().cloned().unwrap_or_else(|| "all".to_owned());
+    let arms: Vec<Arm> = vec![
+        ("pipeline", pipeline),
+        ("transfer", transfer),
+        ("policy", policy),
+        ("overlap", overlap),
+        ("pagesize", pagesize),
+        ("sensitivity", sensitivity),
+        ("device", device),
+    ];
+    let selected: Vec<_> = if which == "all" {
+        arms
+    } else {
+        arms.into_iter().filter(|&(n, _)| n == which).collect()
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "unknown ablation '{which}'; use pipeline|transfer|policy|overlap|pagesize|sensitivity|device|all"
+        );
+        std::process::exit(2);
+    }
+    for (name, arm) in selected {
+        let (mut record, wall) = measure(arm);
+        record.wall_seconds = wall;
+        if let Some(path) = &json_path {
+            record
+                .merge_into_file(path, &format!("ablation_{name}"))
+                .expect("write bench json");
         }
-        other => {
-            eprintln!(
-                "unknown ablation '{other}'; use pipeline|transfer|policy|overlap|pagesize|sensitivity|device|all"
-            );
-            std::process::exit(2);
-        }
+    }
+    if let Some(path) = &json_path {
+        println!("measurements appended to {}", path.display());
     }
 }

@@ -1,11 +1,17 @@
 //! Regenerates Figure 8: adpcmdecode execution time, pure software vs
 //! the VIM-based coprocessor (HW + SW(DP) + SW(IMU)), for 2/4/8 KB
-//! inputs.
+//! inputs. Points are independent simulations and run one per worker
+//! thread; `--json <path>` additionally records throughput into the
+//! shared measurement file.
 
 use vcop_bench::experiments::{adpcm_vim, ExperimentOptions};
+use vcop_bench::runner::{
+    measure, parallel_map, take_json_arg, SectionRecord, WorkloadMeasurement,
+};
 use vcop_bench::table::{ms, speedup, BarChart, Table};
 
 fn main() {
+    let (_, json_path) = take_json_arg(std::env::args().skip(1).collect());
     let opts = ExperimentOptions::default();
     let mut table = Table::new(vec![
         "input",
@@ -20,8 +26,19 @@ fn main() {
     println!("Figure 8 — adpcmdecode (coprocessor + IMU @ 40 MHz, ARM @ 133 MHz)");
     println!("paper: speedups 1.5x / 1.5x / 1.6x; SW(IMU) <= 2.5% of total\n");
     let mut chart = BarChart::new(64);
-    for kb in [2usize, 4, 8] {
-        let run = adpcm_vim(kb, &opts);
+
+    let (points, fig_wall) = measure(|| {
+        parallel_map(vec![2usize, 4, 8], |kb| {
+            let (run, wall) = measure(|| adpcm_vim(kb, &opts));
+            (kb, run, wall)
+        })
+    });
+
+    let mut record = SectionRecord {
+        wall_seconds: fig_wall,
+        ..Default::default()
+    };
+    for (kb, run, wall) in &points {
         let r = &run.report;
         chart.bar(format!("{kb} KB SW"), vec![("pure SW", run.sw)]);
         chart.bar(
@@ -38,7 +55,19 @@ fn main() {
             speedup(run.speedup()),
             r.faults.to_string(),
         ]);
+        record.workloads.push(WorkloadMeasurement {
+            name: format!("adpcm_{kb}kb"),
+            simulated_cycles: r.imu_edges + r.cp_cycles,
+            wall_seconds: *wall,
+        });
     }
     println!("{}", table.render());
     println!("{}", chart.render());
+
+    if let Some(path) = json_path {
+        record
+            .merge_into_file(&path, "fig8")
+            .expect("write bench json");
+        println!("measurements appended to {}", path.display());
+    }
 }

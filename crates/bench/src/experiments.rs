@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 
 use vcop::{
-    run_typical, BaselineReport, Direction, ElemSize, Error, ExecutionReport, MapHints, PolicyKind,
-    PrefetchMode, System, SystemBuilder, TransferMode, TypicalConfig, TypicalObject,
+    run_typical, BaselineReport, Direction, ElemSize, Error, ExecutionReport, Kernel, MapHints,
+    PolicyKind, PrefetchMode, System, SystemBuilder, TransferMode, TypicalConfig, TypicalObject,
 };
 use vcop_apps::adpcm::codec as adpcm_codec;
 use vcop_apps::adpcm::hw as adpcm_hw;
@@ -44,6 +44,9 @@ pub struct ExperimentOptions {
     /// Multiplier (percent) applied to every fixed OS overhead constant
     /// — the sensitivity-analysis knob (100 = the documented defaults).
     pub os_overhead_pct: u32,
+    /// Simulation kernel (event-driven by default; stepped is the
+    /// reference loop used for cross-checks and speedup measurements).
+    pub kernel: Kernel,
 }
 
 impl Default for ExperimentOptions {
@@ -59,6 +62,7 @@ impl Default for ExperimentOptions {
             dma_channels: 2,
             pipeline_depth: 1,
             os_overhead_pct: 100,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -101,6 +105,7 @@ impl ExperimentOptions {
             .overlap(self.overlap)
             .dma_channels(self.dma_channels)
             .pipeline_depth(self.pipeline_depth)
+            .kernel(self.kernel)
             .build()
     }
 }
@@ -123,6 +128,120 @@ impl AdpcmRun {
     }
 }
 
+/// A warmed-up adpcmdecode system: bitstream configured, software
+/// reference computed once. [`AdpcmHarness::run`] can then be called
+/// repeatedly — with [`AdpcmHarness::reconfigure`] in between to sweep
+/// paging configurations — without paying workload generation, the
+/// software baseline, or `FPGA_LOAD` per data point.
+#[derive(Debug)]
+pub struct AdpcmHarness {
+    system: System,
+    input: Vec<u8>,
+    input_bytes: usize,
+    sw_samples: Vec<i16>,
+    sw: SimTime,
+}
+
+impl AdpcmHarness {
+    /// Builds the system, loads the adpcmdecode core and computes the
+    /// software reference for `input_kb` KB of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system rejects the canonical setup (a model bug).
+    pub fn new(input_kb: usize, opts: &ExperimentOptions) -> Self {
+        let input_bytes = input_kb * 1024;
+        let pcm = adpcm_codec::synthetic_pcm(input_bytes * 2);
+        let input = adpcm_codec::encode(&pcm, &mut ());
+        assert_eq!(input.len(), input_bytes);
+
+        let (sw_samples, sw) = timing::adpcm_sw(&input);
+
+        let mut system = opts.build_system(40, 40);
+        let bitstream = Bitstream::builder("adpcmdecode")
+            .device(opts.device.kind)
+            .resources(Resources::new(1_100, 6_144))
+            .core_clock(timing::ADPCM_CORE_FREQ)
+            .synthetic_payload(48 * 1024)
+            .build();
+        system
+            .fpga_load(
+                &bitstream.to_bytes(),
+                Box::new(adpcm_hw::AdpcmCoprocessor::new()),
+            )
+            .expect("load adpcm core");
+
+        AdpcmHarness {
+            system,
+            input,
+            input_bytes,
+            sw_samples,
+            sw,
+        }
+    }
+
+    /// Re-tunes the paging knobs for the next [`AdpcmHarness::run`].
+    pub fn reconfigure(&mut self, opts: &ExperimentOptions) {
+        self.system
+            .reconfigure_paging(opts.policy, opts.prefetch, opts.overlap, opts.dma_channels);
+    }
+
+    /// Maps the objects, executes, verifies the decoded output
+    /// bit-exactly and unmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coprocessor output mismatches the software
+    /// reference (a model bug, not an experiment outcome).
+    pub fn run(&mut self) -> AdpcmRun {
+        self.system
+            .fpga_map_object(
+                adpcm_hw::OBJ_INPUT,
+                self.input.clone(),
+                ElemSize::U8,
+                Direction::In,
+                MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            )
+            .expect("map input");
+        self.system
+            .fpga_map_object(
+                adpcm_hw::OBJ_OUTPUT,
+                vec![0u8; self.input_bytes * 4],
+                ElemSize::U16,
+                Direction::Out,
+                MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            )
+            .expect("map output");
+        let report = self
+            .system
+            .fpga_execute(&[self.input_bytes as u32])
+            .expect("execute adpcmdecode");
+
+        let out = self
+            .system
+            .take_object(adpcm_hw::OBJ_OUTPUT)
+            .expect("output mapped");
+        self.system.take_object(adpcm_hw::OBJ_INPUT);
+        assert_eq!(
+            adpcm_codec::samples_from_bytes(&out),
+            self.sw_samples,
+            "coprocessor output diverged from the software reference"
+        );
+
+        AdpcmRun {
+            input_bytes: self.input_bytes,
+            sw: self.sw,
+            report,
+        }
+    }
+}
+
 /// Runs the Fig. 8 adpcmdecode point for `input_kb` KB of input through
 /// the full system and verifies the decoded output bit-exactly.
 ///
@@ -132,68 +251,7 @@ impl AdpcmRun {
 /// output mismatches the software reference (either would be a model
 /// bug, not an experiment outcome).
 pub fn adpcm_vim(input_kb: usize, opts: &ExperimentOptions) -> AdpcmRun {
-    let input_bytes = input_kb * 1024;
-    let pcm = adpcm_codec::synthetic_pcm(input_bytes * 2);
-    let input = adpcm_codec::encode(&pcm, &mut ());
-    assert_eq!(input.len(), input_bytes);
-
-    let (sw_samples, sw) = timing::adpcm_sw(&input);
-
-    let mut system = opts.build_system(40, 40);
-    let bitstream = Bitstream::builder("adpcmdecode")
-        .device(opts.device.kind)
-        .resources(Resources::new(1_100, 6_144))
-        .core_clock(timing::ADPCM_CORE_FREQ)
-        .synthetic_payload(48 * 1024)
-        .build();
-    system
-        .fpga_load(
-            &bitstream.to_bytes(),
-            Box::new(adpcm_hw::AdpcmCoprocessor::new()),
-        )
-        .expect("load adpcm core");
-    system
-        .fpga_map_object(
-            adpcm_hw::OBJ_INPUT,
-            input.clone(),
-            ElemSize::U8,
-            Direction::In,
-            MapHints {
-                sequential: true,
-                ..Default::default()
-            },
-        )
-        .expect("map input");
-    system
-        .fpga_map_object(
-            adpcm_hw::OBJ_OUTPUT,
-            vec![0u8; input_bytes * 4],
-            ElemSize::U16,
-            Direction::Out,
-            MapHints {
-                sequential: true,
-                ..Default::default()
-            },
-        )
-        .expect("map output");
-    let report = system
-        .fpga_execute(&[input_bytes as u32])
-        .expect("execute adpcmdecode");
-
-    let out = system
-        .take_object(adpcm_hw::OBJ_OUTPUT)
-        .expect("output mapped");
-    assert_eq!(
-        adpcm_codec::samples_from_bytes(&out),
-        sw_samples,
-        "coprocessor output diverged from the software reference"
-    );
-
-    AdpcmRun {
-        input_bytes,
-        sw,
-        report,
-    }
+    AdpcmHarness::new(input_kb, opts).run()
 }
 
 /// Result of one IDEA experiment point.
@@ -205,6 +263,10 @@ pub struct IdeaRun {
     pub sw: SimTime,
     /// VIM-based execution decomposition.
     pub report: ExecutionReport,
+    /// Host wall-clock seconds spent inside `fpga_execute` alone — the
+    /// simulation-kernel throughput metric, excluding object mapping and
+    /// ciphertext verification.
+    pub execute_wall: f64,
 }
 
 impl IdeaRun {
@@ -232,6 +294,118 @@ pub fn idea_sw_baseline(input_kb: usize) -> SimTime {
     timing::idea_sw(&pt, idea_key()).1
 }
 
+/// A warmed-up IDEA system (core at 6 MHz, IMU + memory at 24 MHz):
+/// bitstream configured, software reference computed once. See
+/// [`AdpcmHarness`] for the usage pattern.
+#[derive(Debug)]
+pub struct IdeaHarness {
+    system: System,
+    packed_pt: Vec<u8>,
+    input_bytes: usize,
+    sw_ct: Vec<u8>,
+    sw: SimTime,
+}
+
+impl IdeaHarness {
+    /// Builds the system, loads the IDEA core and computes the software
+    /// reference for `input_kb` KB of plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system rejects the canonical setup (a model bug).
+    pub fn new(input_kb: usize, opts: &ExperimentOptions) -> Self {
+        let input_bytes = input_kb * 1024;
+        let pt = idea_cipher::synthetic_plaintext(input_bytes);
+        let (sw_ct, sw) = timing::idea_sw(&pt, idea_key());
+
+        let mut system = opts.build_system(6, 24);
+        let bitstream = Bitstream::builder("idea")
+            .device(opts.device.kind)
+            .resources(Resources::new(3_600, 24_576))
+            .core_clock(timing::IDEA_CORE_FREQ)
+            .synthetic_payload(96 * 1024)
+            .build();
+        system
+            .fpga_load(
+                &bitstream.to_bytes(),
+                Box::new(idea_hw::IdeaCoprocessor::new()),
+            )
+            .expect("load idea core");
+
+        IdeaHarness {
+            system,
+            packed_pt: idea_cipher::pack_words(&pt),
+            input_bytes,
+            sw_ct,
+            sw,
+        }
+    }
+
+    /// Re-tunes the paging knobs for the next [`IdeaHarness::run`].
+    pub fn reconfigure(&mut self, opts: &ExperimentOptions) {
+        self.system
+            .reconfigure_paging(opts.policy, opts.prefetch, opts.overlap, opts.dma_channels);
+    }
+
+    /// Maps the objects, executes, verifies the ciphertext bit-exactly
+    /// and unmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ciphertext mismatch (a model bug).
+    pub fn run(&mut self) -> IdeaRun {
+        self.system
+            .fpga_map_object(
+                idea_hw::OBJ_INPUT,
+                self.packed_pt.clone(),
+                ElemSize::U16,
+                Direction::In,
+                MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            )
+            .expect("map plaintext");
+        self.system
+            .fpga_map_object(
+                idea_hw::OBJ_OUTPUT,
+                vec![0u8; self.input_bytes],
+                ElemSize::U16,
+                Direction::Out,
+                MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            )
+            .expect("map ciphertext");
+        let blocks = (self.input_bytes / idea_cipher::BLOCK_BYTES) as u32;
+        let started = std::time::Instant::now();
+        let report = self
+            .system
+            .fpga_execute(&idea_params(blocks))
+            .expect("execute idea");
+        let execute_wall = started.elapsed().as_secs_f64();
+
+        let out = self
+            .system
+            .take_object(idea_hw::OBJ_OUTPUT)
+            .expect("output mapped");
+        self.system.take_object(idea_hw::OBJ_INPUT);
+        assert_eq!(
+            idea_cipher::unpack_words(&out),
+            self.sw_ct,
+            "coprocessor ciphertext diverged from the software reference"
+        );
+
+        IdeaRun {
+            input_bytes: self.input_bytes,
+            sw: self.sw,
+            report,
+            execute_wall,
+        }
+    }
+}
+
 /// Runs the Fig. 9 IDEA point for `input_kb` KB through the full system
 /// (core at 6 MHz, IMU + memory at 24 MHz) and verifies the ciphertext.
 ///
@@ -239,66 +413,7 @@ pub fn idea_sw_baseline(input_kb: usize) -> SimTime {
 ///
 /// Panics on setup failure or ciphertext mismatch (model bugs).
 pub fn idea_vim(input_kb: usize, opts: &ExperimentOptions) -> IdeaRun {
-    let input_bytes = input_kb * 1024;
-    let pt = idea_cipher::synthetic_plaintext(input_bytes);
-    let (sw_ct, sw) = timing::idea_sw(&pt, idea_key());
-
-    let mut system = opts.build_system(6, 24);
-    let bitstream = Bitstream::builder("idea")
-        .device(opts.device.kind)
-        .resources(Resources::new(3_600, 24_576))
-        .core_clock(timing::IDEA_CORE_FREQ)
-        .synthetic_payload(96 * 1024)
-        .build();
-    system
-        .fpga_load(
-            &bitstream.to_bytes(),
-            Box::new(idea_hw::IdeaCoprocessor::new()),
-        )
-        .expect("load idea core");
-    system
-        .fpga_map_object(
-            idea_hw::OBJ_INPUT,
-            idea_cipher::pack_words(&pt),
-            ElemSize::U16,
-            Direction::In,
-            MapHints {
-                sequential: true,
-                ..Default::default()
-            },
-        )
-        .expect("map plaintext");
-    system
-        .fpga_map_object(
-            idea_hw::OBJ_OUTPUT,
-            vec![0u8; input_bytes],
-            ElemSize::U16,
-            Direction::Out,
-            MapHints {
-                sequential: true,
-                ..Default::default()
-            },
-        )
-        .expect("map ciphertext");
-    let blocks = (input_bytes / idea_cipher::BLOCK_BYTES) as u32;
-    let report = system
-        .fpga_execute(&idea_params(blocks))
-        .expect("execute idea");
-
-    let out = system
-        .take_object(idea_hw::OBJ_OUTPUT)
-        .expect("output mapped");
-    assert_eq!(
-        idea_cipher::unpack_words(&out),
-        sw_ct,
-        "coprocessor ciphertext diverged from the software reference"
-    );
-
-    IdeaRun {
-        input_bytes,
-        sw,
-        report,
-    }
+    IdeaHarness::new(input_kb, opts).run()
 }
 
 /// Runs the "normal coprocessor" (manually managed, no OS) IDEA version.
@@ -537,6 +652,32 @@ mod tests {
         let run = idea_vim(4, &ExperimentOptions::default());
         let s = run.speedup();
         assert!((8.0..=13.0).contains(&s), "speedup {s} outside Fig. 9 band");
+    }
+
+    #[test]
+    fn warmed_harness_matches_fresh_system() {
+        // The ablation runner reuses one warmed-up system per arm; every
+        // data point must still measure exactly what a fresh system
+        // would. Sweep a config change (overlap on/off) through one
+        // harness and compare each report against a freshly built run.
+        let base = ExperimentOptions::default();
+        let overlapped = ExperimentOptions {
+            overlap: true,
+            prefetch: PrefetchMode::NextPage { degree: 1 },
+            ..base
+        };
+        let mut harness = AdpcmHarness::new(8, &base);
+        for opts in [&base, &overlapped, &base] {
+            harness.reconfigure(opts);
+            let reused = harness.run();
+            let fresh = adpcm_vim(8, opts);
+            // The raw counter clone is cumulative across a system's
+            // lifetime by design; every per-execution field must match.
+            let mut reused_report = reused.report.clone();
+            reused_report.counters = fresh.report.counters.clone();
+            assert_eq!(reused_report, fresh.report);
+            assert_eq!(reused.sw, fresh.sw);
+        }
     }
 
     #[test]

@@ -10,9 +10,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod json;
+pub mod runner;
 pub mod table;
 
 pub use experiments::{
     adpcm_typical, adpcm_vim, fig7_waveform, idea_sw_baseline, idea_typical, idea_vim, matmul_vim,
-    AdpcmRun, ExperimentOptions, IdeaRun, MatMulRun,
+    AdpcmHarness, AdpcmRun, ExperimentOptions, IdeaHarness, IdeaRun, MatMulRun,
 };

@@ -65,7 +65,7 @@ pub mod system;
 pub use baseline::{run_typical, TypicalConfig, TypicalObject};
 pub use error::Error;
 pub use report::{BaselineReport, ExecutionReport};
-pub use system::{System, SystemBuilder};
+pub use system::{Kernel, System, SystemBuilder};
 
 // Re-export the types applications touch at the API boundary so user
 // code can depend on `vcop` alone.

@@ -13,7 +13,7 @@ use vcop_sim::stats::Counters;
 use vcop_sim::time::SimTime;
 
 /// Timing and event summary of one `FPGA_EXECUTE`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutionReport {
     /// Wall-clock duration of the operation (syscalls, coprocessor run
     /// with its stalls, and end-of-operation service). Equal to

@@ -22,6 +22,7 @@ use vcop_sim::clock::{ClockDomain, EdgeScheduler};
 use vcop_sim::histogram::LatencyHistogram;
 use vcop_sim::irq::{InterruptController, IrqLine};
 use vcop_sim::mem::DualPortRam;
+use vcop_sim::sched::{EventKernel, Wake, WakeSource};
 use vcop_sim::time::{Frequency, SimTime};
 use vcop_sim::trace::{TraceSink, WaveTracer};
 use vcop_vim::cost::{OsCostModel, OsOverheads};
@@ -37,6 +38,22 @@ use crate::report::ExecutionReport;
 
 /// Default per-execute edge budget (hang detection).
 pub const DEFAULT_EDGE_BUDGET: u64 = 2_000_000_000;
+
+/// Simulation kernel driving the `FPGA_EXECUTE` loop.
+///
+/// Both kernels produce cycle-identical [`ExecutionReport`]s; the
+/// event-driven one is simply faster because provably idle clock edges
+/// are bulk-accounted instead of simulated one by one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Visit every rising edge of both PLD clock domains (the original
+    /// reference loop).
+    Stepped,
+    /// Ask each component for a conservative wake hint and fast-forward
+    /// both domains to the earliest instant anything can act.
+    #[default]
+    EventDriven,
+}
 
 /// Builder for a [`System`].
 ///
@@ -69,6 +86,7 @@ pub struct SystemBuilder {
     os_overheads: OsOverheads,
     trace: bool,
     edge_budget: u64,
+    kernel: Kernel,
 }
 
 impl SystemBuilder {
@@ -91,6 +109,7 @@ impl SystemBuilder {
             os_overheads: OsOverheads::paper_era(),
             trace: false,
             edge_budget: DEFAULT_EDGE_BUDGET,
+            kernel: Kernel::default(),
         }
     }
 
@@ -210,6 +229,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects the simulation kernel (event-driven by default; the
+    /// stepped reference loop remains available for cross-checking).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Assembles the system.
     pub fn build(self) -> System {
         let frames = self.device.page_count();
@@ -271,6 +297,7 @@ impl SystemBuilder {
             pld_irq,
             trace,
             edge_budget: self.edge_budget,
+            kernel: self.kernel,
             device: self.device,
             load_time: SimTime::ZERO,
             sched,
@@ -295,6 +322,7 @@ pub struct System {
     pld_irq: IrqLine,
     trace: TraceSink,
     edge_budget: u64,
+    kernel: Kernel,
     load_time: SimTime,
     sched: MiniScheduler,
     caller: Pid,
@@ -407,6 +435,28 @@ impl System {
         self.vim.object(id).map(|o| o.data())
     }
 
+    /// Re-tunes the VIM paging knobs between executions, so a warmed-up
+    /// system (bitstream configured, coprocessor loaded) can sweep
+    /// paging configurations without paying `FPGA_LOAD` again. The next
+    /// execution behaves exactly as on a freshly built system: the
+    /// replacement policy restarts from scratch and the DMA engine is
+    /// rebuilt for the requested channel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if DMA transfers are still in flight (never the case
+    /// between `fpga_execute` calls).
+    pub fn reconfigure_paging(
+        &mut self,
+        policy: PolicyKind,
+        prefetch: PrefetchMode,
+        overlap: bool,
+        dma_channels: usize,
+    ) {
+        self.vim
+            .reconfigure_paging(policy, prefetch, overlap, dma_channels);
+    }
+
     /// `FPGA_EXECUTE`: passes the scalar `params`, launches the
     /// coprocessor, services faults until end of operation, writes dirty
     /// data back, and returns the full time decomposition.
@@ -483,6 +533,159 @@ impl System {
         let mut fault_latency = LatencyHistogram::new();
 
         while edges < self.edge_budget {
+            // Lean transaction engine: in the common synchronous steady
+            // state (no DMA engine, non-pipelined IMU) the whole
+            // accept→translate→complete span of a hitting access is
+            // deterministic, so it runs as one fused transaction instead
+            // of five-plus scheduler iterations, and a computing
+            // coprocessor burst runs as one skip-plus-step round. Any
+            // milestone the span cannot prove idle — a fault, `CP_FIN`,
+            // param-done, pipelining, a blocked pair, budget proximity —
+            // drops back to the generic event loop below.
+            if self.kernel == Kernel::EventDriven
+                && demand_start.is_none()
+                && !self.vim.overlap_active()
+            {
+                let (imu_clock, cp_clock) = sched.pair_mut(imu_clk, cp_clk);
+                let cp = self.coprocessor.as_mut().expect("checked above");
+                loop {
+                    if !self.imu.lean_ready()
+                        || self.port.fin_pending()
+                        || self.port.param_done_pending()
+                    {
+                        break;
+                    }
+                    if self.port.outstanding_len() > 0 {
+                        // A pending access: fuse accept → completion.
+                        let lat = self.imu.fused_latency();
+                        let t_accept = imu_clock.next_edge();
+                        let Some(t_comp) = Wake::In(lat).at(t_accept, imu_clock.period()) else {
+                            break;
+                        };
+                        // The coprocessor must be provably asleep until
+                        // the completion edge, or the completed data
+                        // would become visible at the wrong cycle.
+                        let quiescent = match cp
+                            .next_wake(&self.port)
+                            .at(cp_clock.next_edge(), cp_clock.period())
+                        {
+                            None => true,
+                            Some(t) => t >= t_comp,
+                        };
+                        if !quiescent {
+                            break;
+                        }
+                        let cp_skip = cp_clock.edges_before_short(t_comp);
+                        if edges + lat + cp_skip >= self.edge_budget {
+                            break;
+                        }
+                        let mut link = PortLink::new(&mut self.port);
+                        if !self.imu.fused_access(
+                            t_accept,
+                            t_comp,
+                            &mut link,
+                            &mut self.dpram,
+                            &mut self.trace,
+                        ) {
+                            // Would fault: the generic loop raises it.
+                            break;
+                        }
+                        imu_clock.consume_edges(lat);
+                        edges += lat;
+                        if cp_skip > 0 {
+                            cp_clock.consume_edges(cp_skip);
+                            cp.skip(cp_skip);
+                            cp_cycles += cp_skip;
+                            edges += cp_skip;
+                        }
+                        continue;
+                    }
+                    // Nothing issued: the coprocessor is computing. Skip
+                    // straight to its wake edge and step it once.
+                    let Wake::In(k) = cp.next_wake(&self.port) else {
+                        // Both sides blocked: the generic hang path.
+                        break;
+                    };
+                    let k = k.max(1);
+                    let Some(t_cp) = Wake::In(k).at(cp_clock.next_edge(), cp_clock.period()) else {
+                        break;
+                    };
+                    // IMU edges at or before the step (ties go to the
+                    // IMU, which is provably idle here) are bulk-idled.
+                    let imu_skip = imu_clock.edges_before_short(t_cp + SimTime::from_ps(1));
+                    if edges + imu_skip + k >= self.edge_budget {
+                        break;
+                    }
+                    if imu_skip > 0 {
+                        let last = imu_clock.next_edge()
+                            + SimTime::from_ps(imu_clock.period().as_ps() * (imu_skip - 1));
+                        imu_clock.consume_edges(imu_skip);
+                        self.imu.skip_idle_edges(imu_skip, last);
+                        edges += imu_skip;
+                    }
+                    if k > 1 {
+                        cp_clock.consume_edges(k - 1);
+                        cp_cycles += k - 1;
+                        edges += k - 1;
+                        cp.skip(k - 1);
+                    }
+                    cp_clock.advance();
+                    edges += 1;
+                    cp_cycles += 1;
+                    cp.step(&mut self.port);
+                }
+            }
+
+            // Event-driven kernel: fast-forward both domains across
+            // spans where neither the IMU nor the coprocessor can act.
+            // A demand-stalled span is advanced by the completion path
+            // below instead, and an all-blocked state falls back to
+            // stepping so DMA progress and the hang budget behave
+            // exactly as in stepped mode.
+            if self.kernel == Kernel::EventDriven && demand_start.is_none() {
+                let cp = self.coprocessor.as_ref().expect("checked above");
+                let imu_clock = sched.clock(imu_clk);
+                let cp_clock = sched.clock(cp_clk);
+                let horizon = EventKernel::horizon(&[
+                    WakeSource {
+                        next_edge: imu_clock.next_edge(),
+                        period: imu_clock.period(),
+                        wake: self.imu.next_wake(&self.port),
+                    },
+                    WakeSource {
+                        next_edge: cp_clock.next_edge(),
+                        period: cp_clock.period(),
+                        wake: cp.next_wake(&self.port),
+                    },
+                ]);
+                if let Some(h) = horizon {
+                    let imu_skip = imu_clock.edges_before(h);
+                    let cp_skip = cp_clock.edges_before(h);
+                    let total = imu_skip + cp_skip;
+                    // Near the budget a skip could cross the timeout
+                    // point; degrade to stepping so hangs behave
+                    // identically to the reference loop.
+                    if total > 0 && edges + total < self.edge_budget {
+                        edges += total;
+                        if imu_skip > 0 {
+                            let clk = sched.clock_mut(imu_clk);
+                            let last = clk.next_edge()
+                                + SimTime::from_ps(clk.period().as_ps() * (imu_skip - 1));
+                            clk.fast_forward_to(h);
+                            self.imu.skip_idle_edges(imu_skip, last);
+                        }
+                        if cp_skip > 0 {
+                            sched.clock_mut(cp_clk).fast_forward_to(h);
+                            self.coprocessor
+                                .as_mut()
+                                .expect("checked above")
+                                .skip(cp_skip);
+                            cp_cycles += cp_skip;
+                        }
+                    }
+                }
+            }
+
             edges += 1;
             let (t, id) = sched.pop().expect("two clocks registered");
 

@@ -31,6 +31,8 @@
 use core::fmt;
 use std::collections::VecDeque;
 
+pub use vcop_sim::sched::Wake;
+
 /// Identifier of a mapped interface object — "a number agreed by the
 /// hardware and software designers" (Section 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -218,6 +220,24 @@ impl CoprocessorPort {
     pub fn issued_total(&self) -> u64 {
         self.issued_total
     }
+
+    /// Whether a `CP_FIN` assertion is pending (not yet consumed by the
+    /// IMU). Read-only; used by the event kernel's wake computation.
+    pub fn fin_pending(&self) -> bool {
+        self.fin
+    }
+
+    /// Whether a param-done assertion is pending (not yet consumed by
+    /// the IMU). Read-only; used by the event kernel's wake computation.
+    pub fn param_done_pending(&self) -> bool {
+        self.param_done
+    }
+
+    /// Number of requests awaiting translation (read-only view of the
+    /// IMU-side [`PortLink::outstanding_len`]).
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
 }
 
 /// The IMU side of the port.
@@ -349,6 +369,27 @@ pub trait Coprocessor: fmt::Debug {
     fn is_finished(&self) -> bool {
         false
     }
+
+    /// Conservative wake hint for the event-driven kernel: the earliest
+    /// upcoming coprocessor clock edge at which [`Coprocessor::step`]
+    /// could change state or drive the port, given the current port
+    /// state. `Wake::In(1)` (the default) means "step me every edge" —
+    /// always correct, never faster. `Wake::Never` means the FSM is
+    /// blocked until the port state changes externally (e.g. a
+    /// completion arrives); implementations must only return it when a
+    /// `step` in the current state is a strict no-op.
+    fn next_wake(&self, _port: &CoprocessorPort) -> Wake {
+        Wake::In(1)
+    }
+
+    /// Bulk-applies `n` provably idle edges at once. Must be observably
+    /// identical to calling [`Coprocessor::step`] `n` times in a state
+    /// where each call only advances internal countdowns (the event
+    /// kernel guarantees `n` is at most `next_wake() - 1` edges).
+    /// Implementations with cycle counters or multi-cycle compute states
+    /// decrement them here; the default (for FSMs that never report a
+    /// wake beyond the next edge) is a no-op.
+    fn skip(&mut self, _n: u64) {}
 }
 
 #[cfg(test)]

@@ -15,8 +15,9 @@
 //!    in `AR`, sets `SR.fault` and raises the interrupt so the VIM can
 //!    repair the mapping and [`Imu::resume`] the translation.
 
-use vcop_fabric::port::{AccessKind, AccessRequest, ObjectId, PortLink};
+use vcop_fabric::port::{AccessKind, AccessRequest, CoprocessorPort, ObjectId, PortLink};
 use vcop_sim::mem::{DualPortRam, PageIndex, Port};
+use vcop_sim::sched::Wake;
 use vcop_sim::stats::Counters;
 use vcop_sim::time::SimTime;
 use vcop_sim::trace::{SignalId, SignalValue, TraceSink};
@@ -176,6 +177,43 @@ enum State {
     Done,
 }
 
+/// Datapath event tallies kept as plain fields: several fire on every
+/// translated access, where a map-backed counter would dominate the
+/// simulation's hot path. [`Imu::counters`] renders them in the common
+/// named form on demand.
+#[derive(Debug, Clone, Copy, Default)]
+struct DatapathStats {
+    tlb_hit: u64,
+    tlb_miss: u64,
+    fault: u64,
+    done: u64,
+    completed_read: u64,
+    completed_write: u64,
+    param_read: u64,
+    param_page_freed: u64,
+}
+
+impl DatapathStats {
+    fn to_counters(self) -> Counters {
+        let mut c = Counters::new();
+        for (name, value) in [
+            ("tlb_hit", self.tlb_hit),
+            ("tlb_miss", self.tlb_miss),
+            ("fault", self.fault),
+            ("done", self.done),
+            ("completed_read", self.completed_read),
+            ("completed_write", self.completed_write),
+            ("param_read", self.param_read),
+            ("param_page_freed", self.param_page_freed),
+        ] {
+            if value > 0 {
+                c.add(name, value);
+            }
+        }
+        c
+    }
+}
+
 /// Trace handles for the Fig. 7 signal set.
 #[derive(Debug, Clone, Copy)]
 struct TraceIds {
@@ -205,7 +243,10 @@ pub struct Imu {
     param_frame: Option<PageIndex>,
     /// Element size per object id; `None` = unknown to the IMU.
     layouts: Vec<Option<ElemSize>>,
-    counters: Counters,
+    /// `log2(page_bytes)` when the page size is a power of two, letting
+    /// the per-access page split use shift/mask instead of division.
+    page_shift: Option<u32>,
+    stats: DatapathStats,
     trace_ids: Option<TraceIds>,
     /// Set by [`Imu::resume`]: stalled accesses must be re-translated
     /// against the repaired TLB at the next edge.
@@ -249,7 +290,11 @@ impl Imu {
             fault_cause: None,
             param_frame: None,
             layouts: vec![None; 256],
-            counters: Counters::new(),
+            page_shift: config
+                .page_bytes
+                .is_power_of_two()
+                .then(|| config.page_bytes.trailing_zeros()),
+            stats: DatapathStats::default(),
             trace_ids: None,
             needs_reresolve: false,
             edges: 0,
@@ -295,9 +340,10 @@ impl Imu {
     }
 
     /// Event counters (`tlb_hit`, `tlb_miss`, `fault`, `completed_read`,
-    /// `completed_write`, `param_read`).
-    pub fn counters(&self) -> &Counters {
-        &self.counters
+    /// `completed_write`, `param_read`), rendered from the datapath
+    /// tallies; only counters that fired at least once appear.
+    pub fn counters(&self) -> Counters {
+        self.stats.to_counters()
     }
 
     /// Declares the element size of `obj` (done by the OS before start,
@@ -369,6 +415,77 @@ impl Imu {
         self.state = State::Running;
     }
 
+    /// Conservative wake hint for the event-driven kernel: the earliest
+    /// upcoming IMU clock edge at which [`Imu::step`] could do anything
+    /// observable, given the current port state.
+    ///
+    /// `Wake::In(1)` whenever a pending port assertion, a pipeline
+    /// acceptance, or a re-resolve could act immediately; `Wake::In(k)`
+    /// while the only upcoming action is the head translation's fault
+    /// detection or completion `k` edges out; `Wake::Never` when the IMU
+    /// is stalled, idle, or its pipeline is empty with nothing issued.
+    pub fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        // Param-done is consumed in any state, on the next edge.
+        if port.param_done_pending() {
+            return Wake::In(1);
+        }
+        // Stalled or not running: every edge is a strict no-op
+        // (modulo the edge counter, which the skip credits).
+        if !matches!(self.state, State::Running) {
+            return Wake::Never;
+        }
+        if self.needs_reresolve || port.fin_pending() {
+            return Wake::In(1);
+        }
+        // A new access would be accepted at the next edge.
+        if self.inflight.len() < self.config.pipeline_depth
+            && port.outstanding_len() > self.inflight.len()
+        {
+            return Wake::In(1);
+        }
+        match self.inflight.first() {
+            // Empty pipeline, nothing issued: blocked on the coprocessor.
+            None => Wake::Never,
+            Some(head) => {
+                // Each edge decrements `remaining` before checking, so
+                // the head acts at the k-th upcoming edge.
+                let k = match head.resolution {
+                    Resolution::Fault(_) => {
+                        let detect_at = self
+                            .config
+                            .translation_edges
+                            .saturating_sub(self.config.miss_detect_edges);
+                        head.remaining.saturating_sub(detect_at)
+                    }
+                    Resolution::Hit { .. } | Resolution::Param { .. } => head.remaining,
+                };
+                Wake::In(u64::from(k.max(1)))
+            }
+        }
+    }
+
+    /// Bulk-applies `n` provably idle edges ending at `last_edge_time`.
+    ///
+    /// Must be observably identical to `n` calls of [`Imu::step`] in a
+    /// span where every call is a pure countdown: the edge counter (the
+    /// TLB reference stamp) advances, the waveform issue stamp tracks the
+    /// last edge, and running translations tick down without reaching
+    /// their fault-detect or completion points — the event kernel
+    /// guarantees `n` is below the [`Imu::next_wake`] bound.
+    pub fn skip_idle_edges(&mut self, n: u64, last_edge_time: SimTime) {
+        if n == 0 {
+            return;
+        }
+        self.edges += n;
+        self.prev_edge_time = last_edge_time;
+        if self.state == State::Running {
+            let dec = u32::try_from(n).unwrap_or(u32::MAX);
+            for fl in &mut self.inflight {
+                fl.remaining = fl.remaining.saturating_sub(dec);
+            }
+        }
+    }
+
     /// Acknowledges `SR.done` after end-of-operation service.
     pub fn clear_done(&mut self) {
         self.sr.done = false;
@@ -376,7 +493,10 @@ impl Imu {
         self.sr.running = false;
     }
 
-    fn resolve(&mut self, req: &AccessRequest) -> Resolution {
+    /// Pure resolution of an access against the current CAM and layout
+    /// state: no statistics are touched, so the lean translation path can
+    /// decide whether an access hits before committing to it.
+    fn classify(&self, req: &AccessRequest) -> Resolution {
         if req.obj.is_param() {
             match self.param_frame {
                 Some(frame) => Resolution::Param {
@@ -389,29 +509,109 @@ impl Imu {
                 return Resolution::Fault(FaultCause::UnknownObject { obj: req.obj });
             };
             let byte_off = req.index as usize * elem.bytes();
+            let (page, offset) = match self.page_shift {
+                Some(shift) => (byte_off >> shift, byte_off & (self.config.page_bytes - 1)),
+                None => (
+                    byte_off / self.config.page_bytes,
+                    byte_off % self.config.page_bytes,
+                ),
+            };
             let vpage = VirtualPage {
                 obj: req.obj,
-                page: (byte_off / self.config.page_bytes) as u32,
+                page: page as u32,
             };
-            match self.tlb.lookup(vpage) {
-                Some(hit) => {
-                    self.counters.incr("tlb_hit");
-                    Resolution::Hit {
-                        entry: hit.entry,
-                        addr: hit.frame.0 * self.config.page_bytes
-                            + byte_off % self.config.page_bytes,
-                        elem,
-                    }
-                }
-                None => {
-                    self.counters.incr("tlb_miss");
-                    Resolution::Fault(FaultCause::TlbMiss {
-                        vpage,
-                        is_write: req.kind == AccessKind::Write,
-                    })
-                }
+            match self.tlb.probe(vpage) {
+                Some(hit) => Resolution::Hit {
+                    entry: hit.entry,
+                    addr: hit.frame.0 * self.config.page_bytes + offset,
+                    elem,
+                },
+                None => Resolution::Fault(FaultCause::TlbMiss {
+                    vpage,
+                    is_write: req.kind == AccessKind::Write,
+                }),
             }
         }
+    }
+
+    /// [`Imu::classify`] plus the datapath lookup statistics, exactly as
+    /// the CAM match at acceptance records them.
+    fn resolve(&mut self, req: &AccessRequest) -> Resolution {
+        let resolution = self.classify(req);
+        match resolution {
+            Resolution::Hit { .. } => {
+                self.tlb.count_lookup(true);
+                self.stats.tlb_hit += 1;
+            }
+            Resolution::Fault(FaultCause::TlbMiss { .. }) => {
+                self.tlb.count_lookup(false);
+                self.stats.tlb_miss += 1;
+            }
+            Resolution::Param { .. } | Resolution::Fault(_) => {}
+        }
+        resolution
+    }
+
+    /// Whether the IMU is in the steady state the lean transaction engine
+    /// handles: non-pipelined, running, with an empty translation pipeline
+    /// and no pending re-resolve. In that state a hitting access proceeds
+    /// deterministically from acceptance to completion.
+    pub fn lean_ready(&self) -> bool {
+        self.config.pipeline_depth == 1
+            && self.state == State::Running
+            && self.inflight.is_empty()
+            && !self.needs_reresolve
+    }
+
+    /// Edges from acceptance to completion for a fused access.
+    pub fn fused_latency(&self) -> u64 {
+        u64::from(self.config.total_latency())
+    }
+
+    /// Runs one pending access as a single fused transaction: acceptance
+    /// at `accept_edge`, completion at `complete_edge` (which must be
+    /// `fused_latency() - 1` IMU periods later), with the countdown edges
+    /// in between bulk-credited. Observably identical to stepping the IMU
+    /// through the whole span edge by edge.
+    ///
+    /// Returns `false` without touching any state when there is nothing
+    /// pending or the access would fault — the caller falls back to the
+    /// generic event loop, which raises the fault with exactly-once
+    /// statistics.
+    pub fn fused_access(
+        &mut self,
+        accept_edge: SimTime,
+        complete_edge: SimTime,
+        link: &mut PortLink<'_>,
+        dpram: &mut DualPortRam,
+        sink: &mut TraceSink,
+    ) -> bool {
+        debug_assert!(self.lean_ready());
+        let Some(req) = link.pending_request().copied() else {
+            return false;
+        };
+        let resolution = self.classify(&req);
+        if matches!(resolution, Resolution::Fault(_)) {
+            return false;
+        }
+        let issue_stamp = self.prev_edge_time;
+        self.ar = AddressRegister::capture(req.obj, req.index);
+        // Same lookup statistics the stepped acceptance records; the
+        // classification above is the CAM match.
+        if matches!(resolution, Resolution::Hit { .. }) {
+            self.tlb.count_lookup(true);
+            self.stats.tlb_hit += 1;
+        }
+        self.trace_accept(issue_stamp.min(accept_edge), &req, sink);
+        // Acceptance plus countdown plus completion: the same edge count
+        // the stepped datapath accrues, applied before `perform_access`
+        // so the TLB reference stamp matches the stepped completion edge.
+        self.edges += self.fused_latency();
+        self.prev_edge_time = complete_edge;
+        let data = self.perform_access(&req, resolution, dpram);
+        link.complete(data);
+        self.trace_complete(complete_edge, &req, data, sink);
+        true
     }
 
     /// Registers the Fig. 7 signal set with a tracer (idempotent per
@@ -448,7 +648,7 @@ impl Imu {
         if link.take_param_done() {
             self.param_frame = None;
             self.sr.param_freed = true;
-            self.counters.incr("param_page_freed");
+            self.stats.param_page_freed += 1;
         }
 
         match self.state {
@@ -511,7 +711,7 @@ impl Imu {
                     self.sr.fault = true;
                     self.fault_cause = Some(cause);
                     self.state = State::Faulted;
-                    self.counters.incr("fault");
+                    self.stats.fault += 1;
                     return Some(ImuEvent::Fault);
                 }
             }
@@ -533,7 +733,7 @@ impl Imu {
             self.sr.done = true;
             self.sr.running = false;
             self.state = State::Done;
-            self.counters.incr("done");
+            self.stats.done += 1;
             return Some(ImuEvent::Done);
         }
 
@@ -548,7 +748,7 @@ impl Imu {
     ) -> u32 {
         match resolution {
             Resolution::Param { addr } => {
-                self.counters.incr("param_read");
+                self.stats.param_read += 1;
                 dpram
                     .read_word(Port::Pld, addr)
                     .expect("param page address in range")
@@ -557,7 +757,7 @@ impl Imu {
                 self.tlb.record_access(entry, self.edges);
                 match req.kind {
                     AccessKind::Read => {
-                        self.counters.incr("completed_read");
+                        self.stats.completed_read += 1;
                         match elem {
                             ElemSize::U8 => u32::from(
                                 dpram
@@ -575,7 +775,7 @@ impl Imu {
                         }
                     }
                     AccessKind::Write => {
-                        self.counters.incr("completed_write");
+                        self.stats.completed_write += 1;
                         self.tlb.mark_dirty(entry);
                         match elem {
                             ElemSize::U8 => dpram

@@ -14,6 +14,7 @@
 //! physical page frame, so the TLB *is* the inverse page table of the
 //! interface memory.
 
+use core::cell::Cell;
 use core::fmt;
 
 use vcop_fabric::port::ObjectId;
@@ -103,6 +104,11 @@ pub struct Tlb {
     usage: Vec<EntryUsage>,
     lookups: u64,
     hits: u64,
+    /// Entry that matched most recently, checked before the full scan.
+    /// A CAM matches all entries in parallel, so the probe order is
+    /// unobservable; this only short-circuits the software model on the
+    /// streaming access patterns that dominate simulation time.
+    mru: Cell<usize>,
 }
 
 impl Tlb {
@@ -118,6 +124,7 @@ impl Tlb {
             usage: vec![EntryUsage::default(); entries],
             lookups: 0,
             hits: 0,
+            mru: Cell::new(0),
         }
     }
 
@@ -150,7 +157,32 @@ impl Tlb {
     /// The model asserts the CAM invariant — at most one valid entry per
     /// virtual page — which [`Tlb::set_entry`] maintains.
     pub fn lookup(&mut self, vpage: VirtualPage) -> Option<TlbHit> {
+        let hit = self.probe(vpage);
+        self.count_lookup(hit.is_some());
+        hit
+    }
+
+    /// Records the statistics of one datapath lookup whose match was
+    /// already performed via [`Tlb::probe`] (the lean translation path
+    /// probes first and commits the statistics on acceptance).
+    pub fn count_lookup(&mut self, hit: bool) {
         self.lookups += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Lookup without touching statistics (used by the OS when probing).
+    pub fn probe(&self, vpage: VirtualPage) -> Option<TlbHit> {
+        let mru = self.mru.get();
+        if let Some(e) = self.entries.get(mru) {
+            if e.valid && e.vpage == vpage {
+                return Some(TlbHit {
+                    entry: mru,
+                    frame: e.frame,
+                });
+            }
+        }
         let hit = self
             .entries
             .iter()
@@ -160,22 +192,10 @@ impl Tlb {
                 entry: i,
                 frame: e.frame,
             });
-        if hit.is_some() {
-            self.hits += 1;
+        if let Some(h) = &hit {
+            self.mru.set(h.entry);
         }
         hit
-    }
-
-    /// Lookup without touching statistics (used by the OS when probing).
-    pub fn probe(&self, vpage: VirtualPage) -> Option<TlbHit> {
-        self.entries
-            .iter()
-            .enumerate()
-            .find(|(_, e)| e.valid && e.vpage == vpage)
-            .map(|(i, e)| TlbHit {
-                entry: i,
-                frame: e.frame,
-            })
     }
 
     /// Writes entry `index`.

@@ -106,6 +106,61 @@ impl ClockDomain {
         self.next_edge = SimTime::from_ps(self.next_edge.as_ps() + skipped * self.period.as_ps());
         self.edges_seen += skipped;
     }
+
+    /// Number of pending edges strictly before `t` — what
+    /// [`ClockDomain::fast_forward_to`] would skip — without consuming
+    /// them.
+    pub fn edges_before(&self, t: SimTime) -> u64 {
+        if self.next_edge >= t {
+            return 0;
+        }
+        (t.as_ps() - 1 - self.next_edge.as_ps()) / self.period.as_ps() + 1
+    }
+
+    /// Skips (and counts as seen) every edge strictly *before* `t`,
+    /// leaving the first edge at or after `t` pending. Returns the number
+    /// of edges skipped.
+    ///
+    /// This is the bulk-skip primitive of the event kernel: the skipped
+    /// edges are provably idle, and the edge at the skip horizon itself
+    /// must still be simulated.
+    pub fn fast_forward_to(&mut self, t: SimTime) -> u64 {
+        let skipped = self.edges_before(t);
+        if skipped > 0 {
+            self.next_edge =
+                SimTime::from_ps(self.next_edge.as_ps() + skipped * self.period.as_ps());
+            self.edges_seen += skipped;
+        }
+        skipped
+    }
+
+    /// Consumes the next `n` edges in bulk — equivalent to `n` calls of
+    /// [`ClockDomain::advance`] without per-edge bookkeeping. Used by the
+    /// lean transaction engine, which knows the edge count of a fused
+    /// span up front.
+    pub fn consume_edges(&mut self, n: u64) {
+        self.next_edge = SimTime::from_ps(self.next_edge.as_ps() + n * self.period.as_ps());
+        self.edges_seen += n;
+    }
+
+    /// [`ClockDomain::edges_before`] tuned for spans known to be a
+    /// handful of edges: counts by repeated addition (a few adds beat a
+    /// 64-bit division on the hot path) and falls back to the dividing
+    /// version for anything longer.
+    pub fn edges_before_short(&self, t: SimTime) -> u64 {
+        let period = self.period.as_ps();
+        let t = t.as_ps();
+        let mut edge = self.next_edge.as_ps();
+        let mut n = 0u64;
+        while edge < t {
+            n += 1;
+            if n == 8 {
+                return self.edges_before(SimTime::from_ps(t));
+            }
+            edge += period;
+        }
+        n
+    }
 }
 
 /// A merged, time-ordered stream of rising edges from several clocks.
@@ -140,6 +195,23 @@ impl EdgeScheduler {
     /// Mutable access to a registered clock.
     pub fn clock_mut(&mut self, id: ClockId) -> &mut ClockDomain {
         &mut self.clocks[id.0]
+    }
+
+    /// Mutable access to two distinct clocks at once, so a hot loop can
+    /// hold both without re-indexing every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are equal or out of range.
+    pub fn pair_mut(&mut self, a: ClockId, b: ClockId) -> (&mut ClockDomain, &mut ClockDomain) {
+        assert_ne!(a.0, b.0, "pair_mut needs two distinct clocks");
+        if a.0 < b.0 {
+            let (lo, hi) = self.clocks.split_at_mut(b.0);
+            (&mut lo[a.0], &mut hi[0])
+        } else {
+            let (lo, hi) = self.clocks.split_at_mut(a.0);
+            (&mut hi[0], &mut lo[b.0])
+        }
     }
 
     /// Number of registered clocks.
@@ -207,6 +279,23 @@ mod tests {
         assert_eq!(clk.next_edge(), SimTime::from_ns(125));
         // 25, 50, 75, 100 were skipped
         assert_eq!(clk.edges_seen(), 5);
+    }
+
+    #[test]
+    fn fast_forward_to_leaves_horizon_edge_pending() {
+        let mut clk = ClockDomain::new(Frequency::from_mhz(40));
+        clk.advance(); // next at 25 ns
+                       // Horizon exactly on an edge: 25/50/75 skipped, 100 pending.
+        assert_eq!(clk.fast_forward_to(SimTime::from_ns(100)), 3);
+        assert_eq!(clk.next_edge(), SimTime::from_ns(100));
+        assert_eq!(clk.edges_seen(), 4);
+        // Horizon between edges: 100 skipped, 125 pending.
+        assert_eq!(clk.fast_forward_to(SimTime::from_ns(110)), 1);
+        assert_eq!(clk.next_edge(), SimTime::from_ns(125));
+        // Horizon at or before the pending edge: no-op.
+        assert_eq!(clk.fast_forward_to(SimTime::from_ns(125)), 0);
+        assert_eq!(clk.fast_forward_to(SimTime::from_ns(10)), 0);
+        assert_eq!(clk.next_edge(), SimTime::from_ns(125));
     }
 
     #[test]

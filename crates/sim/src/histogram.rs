@@ -30,7 +30,7 @@ const BUCKETS: usize = 41;
 /// assert_eq!(h.count(), 4);
 /// assert!(h.percentile(0.50) <= h.percentile(0.99));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; BUCKETS],
     count: u64,

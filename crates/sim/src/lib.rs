@@ -11,6 +11,8 @@
 //! * [`bus`] — an AMBA-AHB transfer cost model;
 //! * [`dma`] — a descriptor-based DMA engine cost model;
 //! * [`irq`] — interrupt lines and a small controller;
+//! * [`sched`] — wake hints and the event queue behind the event-driven
+//!   simulation kernel;
 //! * [`histogram`] — log-bucketed latency distributions for reports;
 //! * [`cpu`] — the ARM cost model used by pure-software baselines;
 //! * [`trace`] — waveform capture with VCD and ASCII rendering;
@@ -45,6 +47,7 @@ pub mod error;
 pub mod histogram;
 pub mod irq;
 pub mod mem;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -246,18 +246,31 @@ impl TraceSink {
     }
 
     /// Whether recording is active.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.tracer.is_some()
     }
 
     /// The underlying tracer, if enabled.
+    #[inline]
     pub fn tracer(&self) -> Option<&WaveTracer> {
         self.tracer.as_ref()
     }
 
     /// Mutable access to the underlying tracer, if enabled.
+    #[inline]
     pub fn tracer_mut(&mut self) -> Option<&mut WaveTracer> {
         self.tracer.as_mut()
+    }
+
+    /// Records `value` for `signal` at `t` when enabled; compiles down to
+    /// a single predictable branch when disabled, so instrumented hot
+    /// paths pay nothing for tracing they are not using.
+    #[inline]
+    pub fn record(&mut self, t: SimTime, signal: SignalId, value: SignalValue) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(t, signal, value);
+        }
     }
 
     /// Consumes the sink, returning the tracer if one was enabled.
@@ -360,6 +373,20 @@ mod tests {
             tr.times_of(clk, SignalValue::Bit(true)),
             vec![SimTime::from_ns(10)]
         );
+    }
+
+    #[test]
+    fn sink_record_respects_mode() {
+        let mut off = TraceSink::disabled();
+        // Recording into a disabled sink is a no-op, not an error.
+        off.record(SimTime::ZERO, SignalId(0), SignalValue::Bit(true));
+        assert!(off.into_tracer().is_none());
+
+        let mut on = TraceSink::enabled();
+        let id = on.tracer_mut().unwrap().add_signal("x", 1);
+        on.record(SimTime::ZERO, id, SignalValue::Bit(true));
+        on.record(SimTime::from_ns(1), id, SignalValue::Bit(false));
+        assert_eq!(on.into_tracer().unwrap().change_count(id), 2);
     }
 
     #[test]

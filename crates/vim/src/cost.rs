@@ -243,6 +243,13 @@ impl OsCostModel {
     pub fn sdram_stats(&self) -> (u64, u64) {
         (self.sdram.row_hits(), self.sdram.row_misses())
     }
+
+    /// Forgets the SDRAM open-row state. Called between operations:
+    /// refresh during the idle gap leaves every bank precharged, so one
+    /// execution's row locality never leaks into the next.
+    pub fn precharge_sdram(&mut self) {
+        self.sdram.precharge_all();
+    }
 }
 
 #[cfg(test)]

@@ -221,6 +221,37 @@ impl Vim {
         &self.config
     }
 
+    /// Re-tunes the paging knobs between executions so a warmed-up
+    /// system (core loaded, objects mapped) can sweep configurations
+    /// without being rebuilt. The replacement policy is re-created from
+    /// scratch and the DMA engine is rebuilt to match `overlap` /
+    /// `dma_channels`, so the next execution behaves exactly as on a
+    /// freshly built system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while DMA transfers are in flight (i.e. during
+    /// an execution).
+    pub fn reconfigure_paging(
+        &mut self,
+        policy: PolicyKind,
+        prefetch: PrefetchMode,
+        overlap: bool,
+        dma_channels: usize,
+    ) {
+        assert!(
+            self.in_flight.is_empty(),
+            "reconfigure_paging with DMA transfers in flight"
+        );
+        self.config.policy = policy;
+        self.config.prefetch = prefetch;
+        self.config.overlap = overlap;
+        self.config.dma_channels = dma_channels;
+        self.policy = policy.build();
+        self.dma = overlap.then(|| AsyncDmaEngine::new(*self.cost.dma_config(), dma_channels));
+        self.bus_clock = overlap.then(|| ClockDomain::new(self.cost.bus().frequency()));
+    }
+
     /// Event counters (`fault`, `page_load`, `page_writeback`,
     /// `eviction`, `prefetch`, `param_freed`).
     pub fn counters(&self) -> &Counters {
@@ -245,7 +276,14 @@ impl Vim {
     /// Removes and returns object `id` (results retrieval after
     /// end-of-operation service).
     pub fn take_object(&mut self, id: ObjectId) -> Option<MappedObject> {
-        self.objects.remove(&id.0)
+        let taken = self.objects.remove(&id.0);
+        if self.objects.is_empty() {
+            // With nothing mapped the user allocator can rewind, so a
+            // re-mapped object set lands on the same user addresses (and
+            // the same SDRAM row geometry) as on a fresh system.
+            self.user_alloc_next = 0x10000;
+        }
+        taken
     }
 
     /// Implements `FPGA_MAP_OBJECT`: declares `data` as object `id` with
@@ -315,6 +353,9 @@ impl Vim {
             // execution; the DMA bus clock follows suit.
             *clock = ClockDomain::new(self.cost.bus().frequency());
         }
+        // Refresh during the idle gap between operations precharges all
+        // SDRAM banks, so row locality never leaks across executions.
+        self.cost.precharge_sdram();
         self.frames.clear();
         imu.tlb_mut().invalidate_all();
         imu.clear_object_layouts();
@@ -945,6 +986,13 @@ impl Vim {
     /// Whether any DMA transfer is queued or in flight.
     pub fn dma_busy(&self) -> bool {
         self.dma.as_ref().is_some_and(|d| d.busy())
+    }
+
+    /// Whether overlapped paging (an asynchronous DMA engine) is
+    /// configured — if so, paging traffic can progress concurrently with
+    /// coprocessor execution and the lean transaction engine stands down.
+    pub fn overlap_active(&self) -> bool {
+        self.dma.is_some()
     }
 
     /// Number of frames pinned by in-flight transfers.

@@ -5,9 +5,9 @@
 
 use proptest::prelude::*;
 
-use vcop::{Direction, ElemSize, MapHints, PolicyKind, PrefetchMode, SystemBuilder};
+use vcop::{Direction, ElemSize, Kernel, MapHints, PolicyKind, PrefetchMode, SystemBuilder};
 use vcop_fabric::bitstream::Bitstream;
-use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId};
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
 use vcop_vim::policy::{FrameView, ReplacementPolicy};
 
 /// One scripted access of the stress coprocessor.
@@ -105,6 +105,20 @@ impl Coprocessor for ScriptedCoprocessor {
 
     fn is_finished(&self) -> bool {
         self.state == 7
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            0 => gate(port.started()),
+            1 | 5 => gate(port.can_issue()),
+            2 | 4 | 6 => gate(port.peek_completed().is_some()),
+            // A drained script transitions unconditionally to the
+            // checksum store on the next edge.
+            3 if self.pos == self.script.len() => Wake::In(1),
+            3 => gate(port.can_issue()),
+            _ => Wake::Never,
+        }
     }
 }
 
@@ -240,7 +254,8 @@ fn initial_buffers(sizes: &[u32]) -> Vec<Vec<u8>> {
 }
 
 /// Runs `script` through a freshly built system under the given paging
-/// configuration and returns the final object buffers.
+/// configuration and simulation kernel, returning the final object
+/// buffers and the execution report.
 fn run_scripted(
     script: &[Op],
     buffers: &[Vec<u8>],
@@ -248,12 +263,14 @@ fn run_scripted(
     prefetch: PrefetchMode,
     overlap: bool,
     channels: usize,
-) -> Vec<Vec<u8>> {
+    kernel: Kernel,
+) -> (Vec<Vec<u8>>, vcop::ExecutionReport) {
     let mut system = SystemBuilder::epxa1()
         .policy(policy)
         .prefetch(prefetch)
         .overlap(overlap)
         .dma_channels(channels)
+        .kernel(kernel)
         .build();
     let bs = Bitstream::builder("scripted").build();
     system
@@ -273,19 +290,22 @@ fn run_scripted(
             )
             .expect("map");
     }
-    system.fpga_execute(&[0xC0FF_EE00]).expect("execute");
-    (0..buffers.len())
+    let report = system.fpga_execute(&[0xC0FF_EE00]).expect("execute");
+    let finals = (0..buffers.len())
         .map(|o| system.take_object(ObjectId(o as u8)).expect("mapped"))
-        .collect()
+        .collect();
+    (finals, report)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
-    /// The safety proof for overlapped paging: on one randomised access
-    /// script, every `(policy, prefetch, overlap, DMA channel count)`
-    /// combination — the synchronous pager plus overlapped paging with
-    /// 1–4 channels — produces exactly the state a flat memory would.
+    /// The safety proof for overlapped paging and the event kernel: on
+    /// one randomised access script, every `(policy, prefetch, overlap,
+    /// DMA channel count)` combination — the synchronous pager plus
+    /// overlapped paging with 1–4 channels — produces exactly the state
+    /// a flat memory would, and the event-driven kernel's execution
+    /// report equals the stepped kernel's field for field.
     #[test]
     fn paging_matrix_is_transparent_under_async_dma(
         sizes in proptest::collection::vec(64u32..1600, 3),
@@ -314,14 +334,26 @@ proptest! {
                 let mut paging = vec![(false, 1usize)];
                 paging.extend((1..=4).map(|c| (true, c)));
                 for (overlap, channels) in paging {
-                    let got = run_scripted(&script, &initial, policy, prefetch, overlap, channels);
-                    for (o, (g, e)) in got.iter().zip(&expected).enumerate() {
+                    let (stepped, stepped_report) = run_scripted(
+                        &script, &initial, policy, prefetch, overlap, channels, Kernel::Stepped,
+                    );
+                    for (o, (g, e)) in stepped.iter().zip(&expected).enumerate() {
                         prop_assert_eq!(
                             g, e,
                             "{:?}/{:?} overlap={} channels={} object {} diverged",
                             policy, prefetch, overlap, channels, o
                         );
                     }
+                    let (event, event_report) = run_scripted(
+                        &script, &initial, policy, prefetch, overlap, channels,
+                        Kernel::EventDriven,
+                    );
+                    prop_assert_eq!(&event, &stepped);
+                    prop_assert_eq!(
+                        &event_report, &stepped_report,
+                        "{:?}/{:?} overlap={} channels={} kernels diverged",
+                        policy, prefetch, overlap, channels
+                    );
                 }
             }
         }

@@ -90,6 +90,7 @@ impl ExperimentOptions {
             wake_process: scale(base.wake_process),
             syscall: scale(base.syscall),
             param_word: scale(base.param_word),
+            ctx_switch: scale(base.ctx_switch),
         };
         SystemBuilder::new(self.device)
             .os_overheads(overheads)

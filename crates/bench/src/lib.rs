@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod json;
 pub mod runner;
+pub mod serving;
 pub mod table;
 
 pub use experiments::{

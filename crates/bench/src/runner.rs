@@ -184,14 +184,31 @@ impl SectionRecord {
     ///
     /// Propagates the I/O error if the file cannot be written.
     pub fn merge_into_file(&self, path: &std::path::Path, section: &str) -> std::io::Result<()> {
-        let mut root = std::fs::read_to_string(path)
-            .ok()
-            .and_then(|text| crate::json::parse(&text).ok())
-            .filter(|v| matches!(v, Value::Object(_)))
-            .unwrap_or_else(Value::object);
-        root.set(section, self.to_value());
-        std::fs::write(path, root.render())
+        merge_value_into_file(self.to_value(), path, section)
     }
+}
+
+/// Writes an arbitrary JSON `value` under `section` into the document
+/// at `path`, preserving sections other binaries already wrote there.
+/// An unreadable or malformed existing file is replaced. This is the
+/// free-form counterpart of [`SectionRecord::merge_into_file`] for
+/// sections whose shape doesn't fit the per-workload record.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn merge_value_into_file(
+    value: Value,
+    path: &std::path::Path,
+    section: &str,
+) -> std::io::Result<()> {
+    let mut root = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| crate::json::parse(&text).ok())
+        .filter(|v| matches!(v, Value::Object(_)))
+        .unwrap_or_else(Value::object);
+    root.set(section, value);
+    std::fs::write(path, root.render())
 }
 
 /// Parses a `--json <path>` option pair out of already-collected CLI

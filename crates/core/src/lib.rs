@@ -59,11 +59,16 @@
 
 pub mod baseline;
 pub mod error;
+pub mod multi;
 pub mod report;
 pub mod system;
 
 pub use baseline::{run_typical, TypicalConfig, TypicalObject};
 pub use error::Error;
+pub use multi::{
+    CoprocessorScheduler, DeficitRoundRobin, MultiReport, MultiSystem, MultiSystemBuilder, Request,
+    RequestObject, RoundRobin, SchedulerKind,
+};
 pub use report::{BaselineReport, ExecutionReport};
 pub use system::{Kernel, System, SystemBuilder};
 

@@ -1,0 +1,361 @@
+//! Multi-tenant serving: end-to-end correctness and isolation.
+//!
+//! Two real workloads (adpcmdecode and IDEA) share one EPXA4 fabric
+//! under the time-slicing engine. The tests check that (a) every
+//! tenant's outputs are bit-identical to the software references no
+//! matter how the streams interleave, (b) context switches happen only
+//! at stall boundaries, and (c) the ASID tagging actually isolates
+//! translations (a property test over random interleavings).
+
+use proptest::prelude::*;
+use vcop::{
+    Direction, ElemSize, MapHints, MultiSystem, MultiSystemBuilder, Request, RequestObject,
+    SchedulerKind,
+};
+use vcop_apps::adpcm::codec as adpcm_codec;
+use vcop_apps::adpcm::hw as adpcm_hw;
+use vcop_apps::idea::cipher as idea_cipher;
+use vcop_apps::idea::hw as idea_hw;
+use vcop_apps::timing;
+use vcop_fabric::bitstream::Bitstream;
+use vcop_fabric::device::DeviceKind;
+use vcop_fabric::resources::Resources;
+use vcop_imu::tlb::Asid;
+use vcop_sim::time::Frequency;
+
+fn adpcm_bitstream() -> Vec<u8> {
+    Bitstream::builder("adpcmdecode")
+        .device(DeviceKind::Epxa4)
+        .resources(Resources::new(1_100, 6_144))
+        .core_clock(timing::ADPCM_CORE_FREQ)
+        .synthetic_payload(48 * 1024)
+        .build()
+        .to_bytes()
+}
+
+fn idea_bitstream() -> Vec<u8> {
+    Bitstream::builder("idea")
+        .device(DeviceKind::Epxa4)
+        .resources(Resources::new(3_600, 24_576))
+        .core_clock(timing::IDEA_CORE_FREQ)
+        .synthetic_payload(96 * 1024)
+        .build()
+        .to_bytes()
+}
+
+fn idea_key() -> idea_cipher::IdeaKey {
+    idea_cipher::IdeaKey([1, 2, 3, 4, 5, 6, 7, 8])
+}
+
+fn idea_params(blocks: u32) -> Vec<u32> {
+    let ek = idea_cipher::expand_key(idea_key());
+    let mut params = Vec::with_capacity(1 + idea_cipher::SUBKEYS);
+    params.push(blocks);
+    params.extend(ek.iter().map(|&k| u32::from(k)));
+    params
+}
+
+/// An adpcm decode request over `input_bytes` of synthetic input
+/// (seeded by `salt` so distinct requests carry distinct data), plus
+/// the expected output bytes.
+fn adpcm_request(input_bytes: usize, salt: usize) -> (Request, Vec<u8>) {
+    let pcm = adpcm_codec::synthetic_pcm(input_bytes * 2 + salt * 16);
+    let input = adpcm_codec::encode(&pcm[salt * 16..salt * 16 + input_bytes * 2], &mut ());
+    assert_eq!(input.len(), input_bytes);
+    let expect_samples = adpcm_codec::decode(&input, &mut ());
+    let expect: Vec<u8> = expect_samples
+        .iter()
+        .flat_map(|s| (*s as u16).to_le_bytes())
+        .collect();
+    let req = Request {
+        objects: vec![
+            RequestObject {
+                id: adpcm_hw::OBJ_INPUT,
+                data: input,
+                elem: ElemSize::U8,
+                direction: Direction::In,
+                hints: MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            },
+            RequestObject {
+                id: adpcm_hw::OBJ_OUTPUT,
+                data: vec![0u8; input_bytes * 4],
+                elem: ElemSize::U16,
+                direction: Direction::Out,
+                hints: MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            },
+        ],
+        params: vec![input_bytes as u32],
+    };
+    (req, expect)
+}
+
+/// An IDEA encryption request over `input_bytes` of synthetic
+/// plaintext, plus the expected ciphertext bytes.
+fn idea_request(input_bytes: usize, salt: usize) -> (Request, Vec<u8>) {
+    let mut pt = idea_cipher::synthetic_plaintext(input_bytes);
+    for (i, b) in pt.iter_mut().enumerate() {
+        *b = b.wrapping_add((salt * 31 + i % 7) as u8);
+    }
+    let ek = idea_cipher::expand_key(idea_key());
+    let ct = idea_cipher::crypt_buffer(&pt, &ek, &mut ());
+    let expect = idea_cipher::pack_words(&ct);
+    let blocks = (input_bytes / idea_cipher::BLOCK_BYTES) as u32;
+    let req = Request {
+        objects: vec![
+            RequestObject {
+                id: idea_hw::OBJ_INPUT,
+                data: idea_cipher::pack_words(&pt),
+                elem: ElemSize::U16,
+                direction: Direction::In,
+                hints: MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            },
+            RequestObject {
+                id: idea_hw::OBJ_OUTPUT,
+                data: vec![0u8; input_bytes],
+                elem: ElemSize::U16,
+                direction: Direction::Out,
+                hints: MapHints {
+                    sequential: true,
+                    ..Default::default()
+                },
+            },
+        ],
+        params: idea_params(blocks),
+    };
+    (req, expect)
+}
+
+fn mixed_system(scheduler: SchedulerKind, partition: bool) -> (MultiSystem, Asid, Asid) {
+    let mut sys = MultiSystemBuilder::epxa4()
+        .scheduler(scheduler)
+        .partition(partition)
+        .build();
+    let adpcm = sys
+        .add_tenant(
+            "adpcm",
+            1,
+            Frequency::from_mhz(40),
+            Frequency::from_mhz(40),
+            &adpcm_bitstream(),
+            Box::new(adpcm_hw::AdpcmCoprocessor::new()),
+        )
+        .expect("admit adpcm tenant");
+    let idea = sys
+        .add_tenant(
+            "idea",
+            1,
+            Frequency::from_mhz(6),
+            Frequency::from_mhz(24),
+            &idea_bitstream(),
+            Box::new(idea_hw::IdeaCoprocessor::new()),
+        )
+        .expect("admit idea tenant");
+    (sys, adpcm, idea)
+}
+
+/// Collects the single output buffer of each completed request.
+fn output_bytes(sys: &mut MultiSystem, asid: Asid) -> Vec<Vec<u8>> {
+    sys.take_completed(asid)
+        .into_iter()
+        .map(|c| {
+            assert_eq!(c.outputs.len(), 1, "one output object per request");
+            assert!(c.finished > c.started);
+            c.outputs.into_iter().next().unwrap().1
+        })
+        .collect()
+}
+
+#[test]
+fn two_tenants_produce_reference_outputs() {
+    let (mut sys, adpcm, idea) = mixed_system(SchedulerKind::RoundRobin, false);
+    let (areq, aexp) = adpcm_request(2048, 0);
+    let (ireq, iexp) = idea_request(4096, 0);
+    sys.submit(adpcm, areq);
+    sys.submit(idea, ireq);
+    let report = sys.run().expect("mixed run completes");
+
+    assert_eq!(report.requests, 2);
+    assert_eq!(report.scheduler, "round-robin");
+    assert!(report.ctx_switches >= 2, "both tenants occupied the IMU");
+    let adpcm_out = output_bytes(&mut sys, adpcm);
+    let idea_out = output_bytes(&mut sys, idea);
+    assert_eq!(adpcm_out, vec![aexp]);
+    assert_eq!(idea_out, vec![iexp]);
+
+    // Both tenants faulted (demand paging) and their faults parked them
+    // rather than idling the fabric.
+    for t in &report.tenants {
+        assert!(t.stats.faults > 0, "{} never faulted", t.name);
+        assert_eq!(t.stats.completed, 1);
+        assert_eq!(t.stats.latency.count(), 1);
+    }
+}
+
+#[test]
+fn deficit_scheduler_also_produces_reference_outputs() {
+    let (mut sys, adpcm, idea) = mixed_system(SchedulerKind::DeficitRoundRobin, false);
+    let mut expect_a = Vec::new();
+    let mut expect_i = Vec::new();
+    for salt in 0..2 {
+        let (areq, aexp) = adpcm_request(2048, salt);
+        let (ireq, iexp) = idea_request(2048, salt);
+        sys.submit(adpcm, areq);
+        sys.submit(idea, ireq);
+        expect_a.push(aexp);
+        expect_i.push(iexp);
+    }
+    let report = sys.run().expect("mixed run completes");
+    assert_eq!(report.requests, 4);
+    assert_eq!(report.scheduler, "deficit-weighted");
+    assert_eq!(output_bytes(&mut sys, adpcm), expect_a);
+    assert_eq!(output_bytes(&mut sys, idea), expect_i);
+}
+
+#[test]
+fn partitioned_frames_produce_reference_outputs() {
+    let (mut sys, adpcm, idea) = mixed_system(SchedulerKind::RoundRobin, true);
+    let (areq, aexp) = adpcm_request(4096, 1);
+    let (ireq, iexp) = idea_request(4096, 1);
+    sys.submit(adpcm, areq);
+    sys.submit(idea, ireq);
+    let report = sys.run().expect("partitioned run completes");
+    assert_eq!(output_bytes(&mut sys, adpcm), vec![aexp]);
+    assert_eq!(output_bytes(&mut sys, idea), vec![iexp]);
+    // Partitioned tenants can never steal each other's frames.
+    assert_eq!(report.cross_asid_steals, 0);
+}
+
+#[test]
+fn single_tenant_never_context_switches_mid_run() {
+    // Preemption happens only at stall boundaries, and a lone tenant is
+    // re-picked at every boundary: the IMU context is loaded exactly
+    // once no matter how many faults and requests the run spans.
+    let mut sys = MultiSystemBuilder::epxa4().build();
+    let adpcm = sys
+        .add_tenant(
+            "adpcm",
+            1,
+            Frequency::from_mhz(40),
+            Frequency::from_mhz(40),
+            &adpcm_bitstream(),
+            Box::new(adpcm_hw::AdpcmCoprocessor::new()),
+        )
+        .expect("admit tenant");
+    let mut expect = Vec::new();
+    for salt in 0..3 {
+        let (req, exp) = adpcm_request(4096, salt);
+        sys.submit(adpcm, req);
+        expect.push(exp);
+    }
+    let report = sys.run().expect("solo run completes");
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.ctx_switches, 1, "context loaded once, never evicted");
+    assert!(report.tenants[0].stats.faults > 0);
+    assert_eq!(output_bytes(&mut sys, adpcm), expect);
+}
+
+#[test]
+fn context_switches_bounded_by_stall_boundaries() {
+    // Each scheduling decision happens at a yield point: a parking
+    // fault or a request completion. The engine can therefore never
+    // switch contexts more often than it yields.
+    let (mut sys, adpcm, idea) = mixed_system(SchedulerKind::RoundRobin, false);
+    for salt in 0..2 {
+        sys.submit(adpcm, adpcm_request(2048, salt).0);
+        sys.submit(idea, idea_request(2048, salt).0);
+    }
+    let report = sys.run().expect("mixed run completes");
+    let yields: u64 = report
+        .tenants
+        .iter()
+        .map(|t| t.stats.faults + t.stats.completed)
+        .sum();
+    assert!(
+        report.ctx_switches <= yields,
+        "{} switches exceed {} yield points",
+        report.ctx_switches,
+        yields
+    );
+}
+
+/// Runs `reqs_a` on the adpcm tenant and `reqs_i` on the IDEA tenant
+/// under the given submission interleaving, returning each tenant's
+/// output streams.
+fn run_interleaved(
+    sizes_a: &[usize],
+    sizes_i: &[usize],
+    order: &[bool],
+    scheduler: SchedulerKind,
+) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let (mut sys, adpcm, idea) = mixed_system(scheduler, false);
+    let mut next_a = 0;
+    let mut next_i = 0;
+    // `order[k]` picks which tenant submits its next request; leftovers
+    // are appended after the pattern is exhausted.
+    for &pick_a in order {
+        if pick_a && next_a < sizes_a.len() {
+            sys.submit(adpcm, adpcm_request(sizes_a[next_a], next_a).0);
+            next_a += 1;
+        } else if !pick_a && next_i < sizes_i.len() {
+            sys.submit(idea, idea_request(sizes_i[next_i], next_i).0);
+            next_i += 1;
+        }
+    }
+    while next_a < sizes_a.len() {
+        sys.submit(adpcm, adpcm_request(sizes_a[next_a], next_a).0);
+        next_a += 1;
+    }
+    while next_i < sizes_i.len() {
+        sys.submit(idea, idea_request(sizes_i[next_i], next_i).0);
+        next_i += 1;
+    }
+    sys.run().expect("interleaved run completes");
+    (output_bytes(&mut sys, adpcm), output_bytes(&mut sys, idea))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Isolation: whatever the interleaving of two tenants' request
+    /// streams — submission order, request sizes, scheduling policy —
+    /// each tenant's outputs are byte-identical to running its stream
+    /// alone on an otherwise idle system.
+    #[test]
+    fn interleaving_preserves_per_tenant_outputs(
+        sizes_a in proptest::collection::vec(
+            (1usize..4).prop_map(|kb| kb * 1024), 1..3),
+        sizes_i in proptest::collection::vec(
+            (1usize..4).prop_map(|kb| kb * 1024), 1..3),
+        order in proptest::collection::vec(proptest::bool::ANY, 0..6),
+        deficit in proptest::bool::ANY,
+    ) {
+        let scheduler = if deficit {
+            SchedulerKind::DeficitRoundRobin
+        } else {
+            SchedulerKind::RoundRobin
+        };
+        let (mixed_a, mixed_i) = run_interleaved(&sizes_a, &sizes_i, &order, scheduler);
+        let (solo_a, _) = run_interleaved(&sizes_a, &[], &[], scheduler);
+        let (_, solo_i) = run_interleaved(&[], &sizes_i, &[], scheduler);
+        prop_assert_eq!(&mixed_a, &solo_a);
+        prop_assert_eq!(&mixed_i, &solo_i);
+        // And both match the software references.
+        for (k, (size, out)) in sizes_a.iter().zip(&mixed_a).enumerate() {
+            let (_, exp) = adpcm_request(*size, k);
+            prop_assert_eq!(out, &exp, "adpcm request {} diverged", k);
+        }
+        for (k, (size, out)) in sizes_i.iter().zip(&mixed_i).enumerate() {
+            let (_, exp) = idea_request(*size, k);
+            prop_assert_eq!(out, &exp, "idea request {} diverged", k);
+        }
+    }
+}

@@ -23,7 +23,7 @@ use vcop_sim::time::SimTime;
 use vcop_sim::trace::{SignalId, SignalValue, TraceSink};
 
 use crate::registers::{AddressRegister, ControlRegister, StatusRegister};
-use crate::tlb::{Tlb, VirtualPage};
+use crate::tlb::{Asid, Tlb, VirtualPage};
 
 /// Element size of a mapped object in bytes (1, 2 or 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -225,6 +225,35 @@ struct TraceIds {
     cp_din: SignalId,
 }
 
+/// Per-tenant IMU execution state, detached by [`Imu::save_context`] so
+/// the datapath can serve another address space, and reinstalled by
+/// [`Imu::restore_context`]. Opaque: the OS treats it as a register-file
+/// snapshot.
+#[derive(Debug)]
+pub struct ImuExecContext {
+    state: State,
+    inflight: Vec<Inflight>,
+    ar: AddressRegister,
+    sr: StatusRegister,
+    fault_cause: Option<FaultCause>,
+    needs_reresolve: bool,
+    param_frame: Option<PageIndex>,
+    layouts: Vec<Option<ElemSize>>,
+    asid: Asid,
+}
+
+impl ImuExecContext {
+    /// The address space this context belongs to.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Whether the saved tenant was stalled on an unserviced fault.
+    pub fn is_faulted(&self) -> bool {
+        self.state == State::Faulted
+    }
+}
+
 /// The IMU.
 ///
 /// Drive it with one [`Imu::step`] per IMU clock rising edge; interact
@@ -241,6 +270,10 @@ pub struct Imu {
     sr: StatusRegister,
     fault_cause: Option<FaultCause>,
     param_frame: Option<PageIndex>,
+    /// Address-space id the CAM matches against. Single-tenant systems
+    /// leave this at [`Asid::SINGLE`]; the multi-tenant engine writes it
+    /// on every context switch.
+    current_asid: Asid,
     /// Element size per object id; `None` = unknown to the IMU.
     layouts: Vec<Option<ElemSize>>,
     /// `log2(page_bytes)` when the page size is a power of two, letting
@@ -289,6 +322,7 @@ impl Imu {
             sr: StatusRegister::default(),
             fault_cause: None,
             param_frame: None,
+            current_asid: Asid::SINGLE,
             layouts: vec![None; 256],
             page_shift: config
                 .page_bytes
@@ -346,6 +380,26 @@ impl Imu {
         self.stats.to_counters()
     }
 
+    /// The address-space id translations currently match against.
+    pub fn asid(&self) -> Asid {
+        self.current_asid
+    }
+
+    /// Selects the address space the CAM matches against. On the real
+    /// device this is a register write; the VIM performs it as part of a
+    /// context switch, before resuming the incoming tenant.
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.current_asid = asid;
+    }
+
+    /// Retunes the clock-domain-crossing synchroniser depth. Each
+    /// tenant's IMU wrapper is synthesised with its own coprocessor
+    /// clock, so the multi-tenant engine applies the incoming tenant's
+    /// depth on every context switch.
+    pub fn set_sync_edges(&mut self, edges: u32) {
+        self.config.sync_edges = edges;
+    }
+
     /// Declares the element size of `obj` (done by the OS before start,
     /// from the `FPGA_MAP_OBJECT` arguments).
     pub fn set_object_layout(&mut self, obj: ObjectId, elem: ElemSize) {
@@ -380,7 +434,12 @@ impl Imu {
             self.sr = StatusRegister::default();
             self.fault_cause = None;
             self.state = State::Idle;
-            self.tlb.invalidate_all();
+            // Reset is scoped to the resetting address space: with a
+            // single tenant every entry carries `Asid::SINGLE`, so this
+            // is the full TLB clear of the prototype; with several, a
+            // tenant's datapath reset must leave parked tenants'
+            // translations (and dirty bits) intact.
+            self.tlb.invalidate_asid(self.current_asid);
             self.param_frame = None;
             self.needs_reresolve = false;
             link.reset();
@@ -520,7 +579,7 @@ impl Imu {
                 obj: req.obj,
                 page: page as u32,
             };
-            match self.tlb.probe(vpage) {
+            match self.tlb.probe(self.current_asid, vpage) {
                 Some(hit) => Resolution::Hit {
                     entry: hit.entry,
                     addr: hit.frame.0 * self.config.page_bytes + offset,
@@ -796,6 +855,51 @@ impl Imu {
         }
     }
 
+    /// Detaches the per-tenant execution state so another address space
+    /// can use the datapath. The TLB stays in place — its entries are
+    /// ASID-tagged, so the incoming tenant cannot match them — as do the
+    /// global edge counter and waveform stamps, which model hardware
+    /// time, not process state.
+    ///
+    /// The IMU is left idle with an empty pipeline, cleared layouts and
+    /// no parameter frame, ready for [`Imu::restore_context`] of the next
+    /// tenant.
+    pub fn save_context(&mut self) -> ImuExecContext {
+        let ctx = ImuExecContext {
+            state: self.state,
+            inflight: std::mem::take(&mut self.inflight),
+            ar: self.ar,
+            sr: self.sr,
+            fault_cause: self.fault_cause.take(),
+            needs_reresolve: self.needs_reresolve,
+            param_frame: self.param_frame.take(),
+            layouts: std::mem::replace(&mut self.layouts, vec![None; 256]),
+            asid: self.current_asid,
+        };
+        self.state = State::Idle;
+        self.ar = AddressRegister::default();
+        self.sr = StatusRegister::default();
+        self.needs_reresolve = false;
+        ctx
+    }
+
+    /// Reinstalls a context captured by [`Imu::save_context`]. Any
+    /// stalled or in-flight translations are flagged for re-resolution at
+    /// the next edge: frames may have been stolen (and TLB entries
+    /// repaired or evicted) while the tenant was parked, so the cached
+    /// resolutions cannot be trusted.
+    pub fn restore_context(&mut self, ctx: ImuExecContext) {
+        self.state = ctx.state;
+        self.needs_reresolve = ctx.needs_reresolve || !ctx.inflight.is_empty();
+        self.inflight = ctx.inflight;
+        self.ar = ctx.ar;
+        self.sr = ctx.sr;
+        self.fault_cause = ctx.fault_cause;
+        self.param_frame = ctx.param_frame;
+        self.layouts = ctx.layouts;
+        self.current_asid = ctx.asid;
+    }
+
     fn trace_accept(&self, now: SimTime, req: &AccessRequest, sink: &mut TraceSink) {
         if let (Some(ids), Some(tr)) = (self.trace_ids, sink.tracer_mut()) {
             tr.record(now, ids.cp_obj, SignalValue::Bus(u64::from(req.obj.0)));
@@ -867,6 +971,7 @@ mod tests {
                         crate::tlb::TlbEntry {
                             valid: true,
                             dirty: false,
+                            asid: Asid::SINGLE,
                             vpage: VirtualPage {
                                 obj: ObjectId(obj),
                                 page: vp,
@@ -1008,6 +1113,7 @@ mod tests {
             crate::tlb::TlbEntry {
                 valid: true,
                 dirty: false,
+                asid: Asid::SINGLE,
                 vpage: VirtualPage {
                     obj: ObjectId(0),
                     page: 2,
@@ -1175,6 +1281,109 @@ mod tests {
     }
 
     #[test]
+    fn asid_switch_translates_through_own_entries() {
+        // Two address spaces map object 0 vpage 0 to different frames;
+        // the active ASID selects which one the datapath reaches.
+        let mut b = Bench::new(proto());
+        b.dpram.write_word(Port::Cpu, 0, 0xAAAA).unwrap();
+        b.dpram.write_word(Port::Cpu, 2048, 0xBBBB).unwrap();
+        b.imu.set_object_layout(ObjectId(0), ElemSize::U32);
+        for (i, (asid, frame)) in [(Asid(1), 0), (Asid(2), 1)].iter().enumerate() {
+            b.imu.tlb_mut().set_entry(
+                i,
+                crate::tlb::TlbEntry {
+                    valid: true,
+                    dirty: false,
+                    asid: *asid,
+                    vpage: VirtualPage {
+                        obj: ObjectId(0),
+                        page: 0,
+                    },
+                    frame: PageIndex(*frame),
+                },
+            );
+        }
+        b.imu.set_asid(Asid(1));
+        b.start();
+        b.port.issue_read(ObjectId(0), 0);
+        let (data, _) = b.run_until_complete(10);
+        assert_eq!(data, 0xAAAA);
+        b.imu.set_asid(Asid(2));
+        b.port.issue_read(ObjectId(0), 0);
+        let (data, _) = b.run_until_complete(10);
+        assert_eq!(data, 0xBBBB);
+    }
+
+    #[test]
+    fn context_round_trip_preserves_fault_state() {
+        // Tenant A faults; its context is parked while tenant B runs a
+        // clean read; restoring A brings back the stalled access, which
+        // completes after the usual repair + resume.
+        let mut b = Bench::new(proto());
+        b.imu.set_asid(Asid(1));
+        b.map(0, ElemSize::U32, &[(0, 0)]);
+        b.start();
+        b.port.issue_read(ObjectId(0), 1024); // vpage 2: unmapped
+        for _ in 0..6 {
+            if b.step() == Some(ImuEvent::Fault) {
+                break;
+            }
+        }
+        assert!(b.imu.status().fault);
+        let ctx_a = b.imu.save_context();
+        assert!(ctx_a.is_faulted());
+        assert_eq!(ctx_a.asid(), Asid(1));
+        assert!(!b.imu.status().fault, "datapath is clean after save");
+
+        // Tenant B: fresh port, own ASID, disjoint frame.
+        let saved_port = std::mem::replace(&mut b.port, CoprocessorPort::new(1));
+        b.imu.set_asid(Asid(2));
+        b.imu.set_object_layout(ObjectId(0), ElemSize::U32);
+        b.imu.tlb_mut().set_entry(
+            5,
+            crate::tlb::TlbEntry {
+                valid: true,
+                dirty: false,
+                asid: Asid(2),
+                vpage: VirtualPage {
+                    obj: ObjectId(0),
+                    page: 0,
+                },
+                frame: PageIndex(5),
+            },
+        );
+        b.dpram.write_word(Port::Cpu, 5 * 2048, 0x22).unwrap();
+        b.start();
+        b.port.issue_read(ObjectId(0), 0);
+        let (data, _) = b.run_until_complete(10);
+        assert_eq!(data, 0x22);
+        let _ctx_b = b.imu.save_context();
+
+        // Back to tenant A: repair the mapping, restore, resume.
+        b.port = saved_port;
+        b.imu.restore_context(ctx_a);
+        assert!(b.imu.status().fault, "stalled fault travels with context");
+        assert_eq!(b.imu.asid(), Asid(1));
+        b.dpram.write_word(Port::Cpu, 3 * 2048, 0x77).unwrap();
+        b.imu.tlb_mut().set_entry(
+            3,
+            crate::tlb::TlbEntry {
+                valid: true,
+                dirty: false,
+                asid: Asid(1),
+                vpage: VirtualPage {
+                    obj: ObjectId(0),
+                    page: 2,
+                },
+                frame: PageIndex(3),
+            },
+        );
+        b.imu.resume();
+        let (data, _) = b.run_until_complete(10);
+        assert_eq!(data, 0x77);
+    }
+
+    #[test]
     fn elem_size_helpers() {
         assert_eq!(ElemSize::U8.bytes(), 1);
         assert_eq!(ElemSize::U16.bytes(), 2);
@@ -1231,6 +1440,7 @@ mod sync_tests {
             crate::tlb::TlbEntry {
                 valid: true,
                 dirty: false,
+                asid: Asid::SINGLE,
                 vpage: VirtualPage {
                     obj: ObjectId(0),
                     page: 2,

@@ -18,7 +18,7 @@
 //! | `0x08` | `CR` — control strobes | W |
 //! | `0x0C` | `PF` — parameter frame number | R/W |
 //! | `0x10` | `ID` — peripheral id (`0x564D_5530`, "VMU0") | R |
-//! | `0x100 + 16·i` | TLB entry `i`, word 0: flags (`valid`, `dirty` ≪ 1) | R/W* |
+//! | `0x100 + 16·i` | TLB entry `i`, word 0: flags (`valid`, `dirty` ≪ 1, ASID ≪ 16) | R/W* |
 //! | `0x104 + 16·i` | TLB entry `i`, word 1: object id | R/W* |
 //! | `0x108 + 16·i` | TLB entry `i`, word 2: virtual page | R/W* |
 //! | `0x10C + 16·i` | TLB entry `i`, word 3: frame (write commits the entry) | R/W |
@@ -35,7 +35,7 @@ use vcop_sim::mem::PageIndex;
 
 use crate::imu::{ElemSize, Imu};
 use crate::registers::ControlRegister;
-use crate::tlb::{TlbEntry, VirtualPage};
+use crate::tlb::{Asid, TlbEntry, VirtualPage};
 
 /// Peripheral identification value at offset `0x10` ("VMU0").
 pub const PERIPHERAL_ID: u32 = 0x564D_5530;
@@ -128,7 +128,9 @@ impl MmioWindow {
                 let word = (o - TLB_BASE) % TLB_STRIDE / 4;
                 let e = imu.tlb().entry(idx);
                 Ok(match word {
-                    0 => u32::from(e.valid) | (u32::from(e.dirty) << 1),
+                    0 => {
+                        u32::from(e.valid) | (u32::from(e.dirty) << 1) | (u32::from(e.asid.0) << 16)
+                    }
                     1 => u32::from(e.vpage.obj.0),
                     2 => e.vpage.page,
                     _ => e.frame.0 as u32,
@@ -184,6 +186,7 @@ impl MmioWindow {
                             TlbEntry {
                                 valid: self.stage.flags & 1 != 0,
                                 dirty: self.stage.flags & 2 != 0,
+                                asid: Asid((self.stage.flags >> 16) as u16),
                                 vpage: VirtualPage {
                                     obj: ObjectId(self.stage.obj as u8),
                                     page: self.stage.vpage,

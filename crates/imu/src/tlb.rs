@@ -20,6 +20,25 @@ use core::fmt;
 use vcop_fabric::port::ObjectId;
 use vcop_sim::mem::PageIndex;
 
+/// Address-space identifier tagging TLB entries and DP-RAM frames with
+/// the process they belong to, so translations from different processes
+/// sharing the interface never alias. Single-tenant systems leave
+/// everything at [`Asid::SINGLE`], which reproduces the paper's
+/// untagged prototype bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);
+
+impl Asid {
+    /// The implicit address space of a single-tenant system.
+    pub const SINGLE: Asid = Asid(0);
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
 /// A virtual interface page: object id plus page number *within* that
 /// object's element space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,6 +62,8 @@ pub struct TlbEntry {
     pub valid: bool,
     /// The frame content has been written by the coprocessor since load.
     pub dirty: bool,
+    /// Address space the entry belongs to; part of the CAM match key.
+    pub asid: Asid,
     /// Matched virtual page.
     pub vpage: VirtualPage,
     /// Frame this entry translates to.
@@ -55,6 +76,7 @@ impl TlbEntry {
         TlbEntry {
             valid: false,
             dirty: false,
+            asid: Asid::SINGLE,
             vpage: VirtualPage {
                 obj: ObjectId(0),
                 page: 0,
@@ -90,13 +112,20 @@ pub struct EntryUsage {
 ///
 /// ```
 /// use vcop_fabric::port::ObjectId;
-/// use vcop_imu::tlb::{Tlb, TlbEntry, VirtualPage};
+/// use vcop_imu::tlb::{Asid, Tlb, TlbEntry, VirtualPage};
 /// use vcop_sim::mem::PageIndex;
 ///
 /// let mut tlb = Tlb::new(8);
 /// let vp = VirtualPage { obj: ObjectId(0), page: 3 };
-/// tlb.set_entry(2, TlbEntry { valid: true, dirty: false, vpage: vp, frame: PageIndex(5) });
-/// assert_eq!(tlb.lookup(vp).expect("mapped").frame, PageIndex(5));
+/// tlb.set_entry(2, TlbEntry {
+///     valid: true,
+///     dirty: false,
+///     asid: Asid::SINGLE,
+///     vpage: vp,
+///     frame: PageIndex(5),
+/// });
+/// assert_eq!(tlb.lookup(Asid::SINGLE, vp).expect("mapped").frame, PageIndex(5));
+/// assert!(tlb.lookup(Asid(7), vp).is_none(), "other address spaces never alias");
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
@@ -152,12 +181,12 @@ impl Tlb {
         &self.entries[index]
     }
 
-    /// CAM match of `vpage` against all valid entries.
+    /// CAM match of `(asid, vpage)` against all valid entries.
     ///
     /// The model asserts the CAM invariant — at most one valid entry per
-    /// virtual page — which [`Tlb::set_entry`] maintains.
-    pub fn lookup(&mut self, vpage: VirtualPage) -> Option<TlbHit> {
-        let hit = self.probe(vpage);
+    /// `(asid, vpage)` pair — which [`Tlb::set_entry`] maintains.
+    pub fn lookup(&mut self, asid: Asid, vpage: VirtualPage) -> Option<TlbHit> {
+        let hit = self.probe(asid, vpage);
         self.count_lookup(hit.is_some());
         hit
     }
@@ -173,10 +202,12 @@ impl Tlb {
     }
 
     /// Lookup without touching statistics (used by the OS when probing).
-    pub fn probe(&self, vpage: VirtualPage) -> Option<TlbHit> {
+    /// The ASID tag is part of the match, so entries of other address
+    /// spaces are invisible.
+    pub fn probe(&self, asid: Asid, vpage: VirtualPage) -> Option<TlbHit> {
         let mru = self.mru.get();
         if let Some(e) = self.entries.get(mru) {
-            if e.valid && e.vpage == vpage {
+            if e.valid && e.asid == asid && e.vpage == vpage {
                 return Some(TlbHit {
                     entry: mru,
                     frame: e.frame,
@@ -187,7 +218,7 @@ impl Tlb {
             .entries
             .iter()
             .enumerate()
-            .find(|(_, e)| e.valid && e.vpage == vpage)
+            .find(|(_, e)| e.valid && e.asid == asid && e.vpage == vpage)
             .map(|(i, e)| TlbHit {
                 entry: i,
                 frame: e.frame,
@@ -203,15 +234,16 @@ impl Tlb {
     /// # Panics
     ///
     /// Panics if `index` is out of range, or if installing a valid entry
-    /// would duplicate a virtual page already valid in another entry
-    /// (CAMs must never multi-match).
+    /// would duplicate an `(asid, virtual page)` pair already valid in
+    /// another entry (CAMs must never multi-match).
     pub fn set_entry(&mut self, index: usize, entry: TlbEntry) {
         if entry.valid {
-            if let Some(dup) = self.probe(entry.vpage) {
+            if let Some(dup) = self.probe(entry.asid, entry.vpage) {
                 assert!(
                     dup.entry == index,
-                    "virtual page {} already valid in entry {}",
+                    "virtual page {} of {} already valid in entry {}",
                     entry.vpage,
+                    entry.asid,
                     dup.entry
                 );
             }
@@ -229,6 +261,20 @@ impl Tlb {
         self.entries[index].valid = false;
         self.entries[index].dirty = false;
         self.usage[index] = EntryUsage::default();
+    }
+
+    /// Invalidates every entry tagged with `asid`, leaving other address
+    /// spaces' translations (and their dirty bits) in place. A tenant's
+    /// datapath reset must not wipe the mappings of tenants parked on
+    /// the same fabric.
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.asid == asid {
+                e.valid = false;
+                e.dirty = false;
+                self.usage[i] = EntryUsage::default();
+            }
+        }
     }
 
     /// Invalidates every entry.
@@ -322,8 +368,16 @@ mod tests {
         TlbEntry {
             valid: true,
             dirty: false,
+            asid: Asid::SINGLE,
             vpage: vp(obj, page),
             frame: PageIndex(frame),
+        }
+    }
+
+    fn valid_as(asid: u16, obj: u8, page: u32, frame: usize) -> TlbEntry {
+        TlbEntry {
+            asid: Asid(asid),
+            ..valid(obj, page, frame)
         }
     }
 
@@ -331,9 +385,9 @@ mod tests {
     fn lookup_hits_and_misses_count() {
         let mut tlb = Tlb::new(4);
         tlb.set_entry(0, valid(0, 0, 0));
-        assert!(tlb.lookup(vp(0, 0)).is_some());
-        assert!(tlb.lookup(vp(0, 1)).is_none());
-        assert!(tlb.lookup(vp(1, 0)).is_none());
+        assert!(tlb.lookup(Asid::SINGLE, vp(0, 0)).is_some());
+        assert!(tlb.lookup(Asid::SINGLE, vp(0, 1)).is_none());
+        assert!(tlb.lookup(Asid::SINGLE, vp(1, 0)).is_none());
         assert_eq!(tlb.lookups(), 3);
         assert_eq!(tlb.hits(), 1);
         assert_eq!(tlb.misses(), 2);
@@ -343,7 +397,10 @@ mod tests {
     fn probe_does_not_count() {
         let mut tlb = Tlb::new(2);
         tlb.set_entry(1, valid(3, 9, 1));
-        assert_eq!(tlb.probe(vp(3, 9)).unwrap().frame, PageIndex(1));
+        assert_eq!(
+            tlb.probe(Asid::SINGLE, vp(3, 9)).unwrap().frame,
+            PageIndex(1)
+        );
         assert_eq!(tlb.lookups(), 0);
     }
 
@@ -353,7 +410,39 @@ mod tests {
         let mut e = valid(0, 0, 0);
         e.valid = false;
         tlb.set_entry(0, e);
-        assert!(tlb.lookup(vp(0, 0)).is_none());
+        assert!(tlb.lookup(Asid::SINGLE, vp(0, 0)).is_none());
+    }
+
+    #[test]
+    fn asid_isolates_identical_vpages() {
+        // Two processes map the same object id and page; each probe must
+        // resolve to its own frame and never to the other tenant's.
+        let mut tlb = Tlb::new(4);
+        tlb.set_entry(0, valid_as(1, 0, 0, 0));
+        tlb.set_entry(1, valid_as(2, 0, 0, 1));
+        assert_eq!(tlb.probe(Asid(1), vp(0, 0)).unwrap().frame, PageIndex(0));
+        assert_eq!(tlb.probe(Asid(2), vp(0, 0)).unwrap().frame, PageIndex(1));
+        assert!(tlb.probe(Asid(3), vp(0, 0)).is_none());
+    }
+
+    #[test]
+    fn asid_mru_shortcut_does_not_leak() {
+        // Warm the MRU slot with asid 1, then probe the same vpage under
+        // asid 2: the shortcut must not return the stale entry.
+        let mut tlb = Tlb::new(4);
+        tlb.set_entry(2, valid_as(1, 5, 3, 2));
+        tlb.set_entry(3, valid_as(2, 5, 3, 3));
+        assert_eq!(tlb.probe(Asid(1), vp(5, 3)).unwrap().entry, 2);
+        assert_eq!(tlb.probe(Asid(2), vp(5, 3)).unwrap().entry, 3);
+        assert_eq!(tlb.probe(Asid(1), vp(5, 3)).unwrap().entry, 2);
+    }
+
+    #[test]
+    fn duplicate_vpage_allowed_across_asids() {
+        let mut tlb = Tlb::new(2);
+        tlb.set_entry(0, valid_as(1, 0, 5, 0));
+        tlb.set_entry(1, valid_as(2, 0, 5, 1)); // same vpage, other asid
+        assert_eq!(tlb.probe(Asid(1), vp(0, 5)).unwrap().frame, PageIndex(0));
     }
 
     #[test]
@@ -369,7 +458,19 @@ mod tests {
         let mut tlb = Tlb::new(2);
         tlb.set_entry(0, valid(0, 5, 0));
         tlb.set_entry(0, valid(0, 5, 1)); // same slot, new frame
-        assert_eq!(tlb.probe(vp(0, 5)).unwrap().frame, PageIndex(1));
+        assert_eq!(
+            tlb.probe(Asid::SINGLE, vp(0, 5)).unwrap().frame,
+            PageIndex(1)
+        );
+    }
+
+    #[test]
+    fn rewriting_same_entry_new_asid_is_allowed() {
+        let mut tlb = Tlb::new(2);
+        tlb.set_entry(0, valid_as(1, 0, 5, 0));
+        tlb.set_entry(0, valid_as(2, 0, 5, 0)); // same slot, new owner
+        assert!(tlb.probe(Asid(1), vp(0, 5)).is_none());
+        assert_eq!(tlb.probe(Asid(2), vp(0, 5)).unwrap().frame, PageIndex(0));
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct OsOverheads {
     pub syscall: u64,
     /// Writing one scalar parameter word to the parameter page.
     pub param_word: u64,
+    /// Switching the coprocessor between tenant contexts: saving and
+    /// reloading the IMU execution registers, retargeting the CAM's
+    /// ASID, and the scheduler bookkeeping around it. Page write-backs
+    /// are *not* included — they are priced lazily, per frame actually
+    /// stolen, by the frame allocator.
+    pub ctx_switch: u64,
 }
 
 impl OsOverheads {
@@ -83,6 +89,7 @@ impl OsOverheads {
             wake_process: 320,
             syscall: 500,
             param_word: 10,
+            ctx_switch: 400,
         }
     }
 }
@@ -229,6 +236,13 @@ impl OsCostModel {
     /// Time for one `FPGA_*` system call's entry/exit.
     pub fn syscall_time(&self) -> SimTime {
         self.t(self.overheads.syscall)
+    }
+
+    /// CPU time to switch the coprocessor between tenant contexts
+    /// (register save/restore + ASID retarget, excluding lazy frame
+    /// write-backs).
+    pub fn ctx_switch_time(&self) -> SimTime {
+        self.t(self.overheads.ctx_switch)
     }
 
     /// Time to write `words` scalar parameters into the parameter page.

@@ -6,11 +6,15 @@
 //! occupies." (Section 3.3.)
 
 use vcop_fabric::port::ObjectId;
+use vcop_imu::tlb::Asid;
 use vcop_sim::mem::PageIndex;
 
 /// What currently occupies a physical frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Resident {
+    /// Address space the page belongs to. Object ids are per-process, so
+    /// occupancy is only meaningful together with the owner.
+    pub asid: Asid,
     /// Object whose page resides here.
     pub obj: ObjectId,
     /// Virtual page number within the object.
@@ -35,9 +39,9 @@ pub enum FrameState {
     /// Nothing resident.
     #[default]
     Free,
-    /// Reserved for parameter passing (not allocatable until the
-    /// coprocessor invalidates it).
-    Params,
+    /// Reserved for parameter passing by the given address space (not
+    /// allocatable until that tenant's coprocessor invalidates it).
+    Params(Asid),
     /// Holds a page of a mapped object.
     Resident(Resident),
     /// An inbound page transfer is in flight; the frame is pinned and
@@ -54,13 +58,14 @@ pub enum FrameState {
 ///
 /// ```
 /// use vcop_fabric::port::ObjectId;
+/// use vcop_imu::tlb::Asid;
 /// use vcop_sim::mem::PageIndex;
 /// use vcop_vim::frames::FrameTable;
 ///
 /// let mut ft = FrameTable::new(8);
 /// let frame = ft.find_free().expect("all free initially");
-/// ft.install(frame, ObjectId(0), 0);
-/// assert_eq!(ft.frame_of(ObjectId(0), 0), Some(frame));
+/// ft.install(frame, Asid::SINGLE, ObjectId(0), 0);
+/// assert_eq!(ft.frame_of(Asid::SINGLE, ObjectId(0), 0), Some(frame));
 /// ```
 #[derive(Debug, Clone)]
 pub struct FrameTable {
@@ -109,6 +114,15 @@ impl FrameTable {
             .map(PageIndex)
     }
 
+    /// Lowest-numbered free frame within `range` (a tenant's partition
+    /// under partitioned frame ownership), if any.
+    pub fn find_free_in(&self, range: core::ops::Range<usize>) -> Option<PageIndex> {
+        let end = range.end.min(self.frames.len());
+        (range.start..end)
+            .find(|&i| self.frames[i] == FrameState::Free)
+            .map(PageIndex)
+    }
+
     /// Number of free frames.
     pub fn free_count(&self) -> usize {
         self.frames
@@ -122,13 +136,14 @@ impl FrameTable {
     /// # Panics
     ///
     /// Panics if `frame` is out of range or not free.
-    pub fn install(&mut self, frame: PageIndex, obj: ObjectId, vpage: u32) -> Resident {
+    pub fn install(&mut self, frame: PageIndex, asid: Asid, obj: ObjectId, vpage: u32) -> Resident {
         assert_eq!(
             self.frames[frame.0],
             FrameState::Free,
             "installing into non-free frame {frame}"
         );
         let r = Resident {
+            asid,
             obj,
             vpage,
             loaded_seq: self.next_seq,
@@ -154,31 +169,31 @@ impl FrameTable {
             // `release_params`; pinned (in-flight) frames only through
             // their transfer-completion transitions; an already-free
             // frame stays free.
-            FrameState::Params
+            FrameState::Params(_)
             | FrameState::Free
             | FrameState::Loading(_)
             | FrameState::Evicting(_) => None,
         }
     }
 
-    /// Reserves `frame` for parameter passing.
+    /// Reserves `frame` for parameter passing by `asid`.
     ///
     /// # Panics
     ///
     /// Panics if `frame` is out of range or not free.
-    pub fn reserve_params(&mut self, frame: PageIndex) {
+    pub fn reserve_params(&mut self, frame: PageIndex, asid: Asid) {
         assert_eq!(
             self.frames[frame.0],
             FrameState::Free,
             "parameter frame {frame} must be free"
         );
-        self.frames[frame.0] = FrameState::Params;
+        self.frames[frame.0] = FrameState::Params(asid);
     }
 
     /// Releases a parameter reservation (the coprocessor invalidated the
     /// page). Returns whether a reservation existed.
     pub fn release_params(&mut self, frame: PageIndex) -> bool {
-        if self.frames[frame.0] == FrameState::Params {
+        if matches!(self.frames[frame.0], FrameState::Params(_)) {
             self.frames[frame.0] = FrameState::Free;
             true
         } else {
@@ -193,13 +208,20 @@ impl FrameTable {
     /// # Panics
     ///
     /// Panics if `frame` is out of range or not free.
-    pub fn begin_load(&mut self, frame: PageIndex, obj: ObjectId, vpage: u32) -> Resident {
+    pub fn begin_load(
+        &mut self,
+        frame: PageIndex,
+        asid: Asid,
+        obj: ObjectId,
+        vpage: u32,
+    ) -> Resident {
         assert_eq!(
             self.frames[frame.0],
             FrameState::Free,
             "loading into non-free frame {frame}"
         );
         let r = Resident {
+            asid,
             obj,
             vpage,
             loaded_seq: self.next_seq,
@@ -266,12 +288,14 @@ impl FrameTable {
     pub fn retarget_load(
         &mut self,
         frame: PageIndex,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
     ) -> Option<Resident> {
         match self.frames[frame.0] {
             FrameState::Evicting(_) => {
                 let r = Resident {
+                    asid,
                     obj,
                     vpage,
                     loaded_seq: self.next_seq,
@@ -293,12 +317,13 @@ impl FrameTable {
             .count()
     }
 
-    /// The frame currently holding page `vpage` of `obj`, if resident.
-    pub fn frame_of(&self, obj: ObjectId, vpage: u32) -> Option<PageIndex> {
+    /// The frame currently holding page `vpage` of `obj` in address
+    /// space `asid`, if resident.
+    pub fn frame_of(&self, asid: Asid, obj: ObjectId, vpage: u32) -> Option<PageIndex> {
         self.frames
             .iter()
             .position(|s| match s {
-                FrameState::Resident(r) => r.obj == obj && r.vpage == vpage,
+                FrameState::Resident(r) => r.asid == asid && r.obj == obj && r.vpage == vpage,
                 _ => false,
             })
             .map(PageIndex)
@@ -338,10 +363,10 @@ mod tests {
     fn install_and_lookup() {
         let mut ft = FrameTable::new(4);
         let f = ft.find_free().unwrap();
-        let r = ft.install(f, ObjectId(2), 7);
+        let r = ft.install(f, Asid::SINGLE, ObjectId(2), 7);
         assert_eq!(r.loaded_seq, 0);
-        assert_eq!(ft.frame_of(ObjectId(2), 7), Some(f));
-        assert_eq!(ft.frame_of(ObjectId(2), 8), None);
+        assert_eq!(ft.frame_of(Asid::SINGLE, ObjectId(2), 7), Some(f));
+        assert_eq!(ft.frame_of(Asid::SINGLE, ObjectId(2), 8), None);
         assert_eq!(ft.free_count(), 3);
         assert_eq!(ft.residents().len(), 1);
     }
@@ -349,15 +374,15 @@ mod tests {
     #[test]
     fn sequence_increases_per_install() {
         let mut ft = FrameTable::new(4);
-        let a = ft.install(PageIndex(0), ObjectId(0), 0);
-        let b = ft.install(PageIndex(1), ObjectId(0), 1);
+        let a = ft.install(PageIndex(0), Asid::SINGLE, ObjectId(0), 0);
+        let b = ft.install(PageIndex(1), Asid::SINGLE, ObjectId(0), 1);
         assert!(b.loaded_seq > a.loaded_seq);
     }
 
     #[test]
     fn evict_frees() {
         let mut ft = FrameTable::new(2);
-        ft.install(PageIndex(1), ObjectId(0), 3);
+        ft.install(PageIndex(1), Asid::SINGLE, ObjectId(0), 3);
         let r = ft.evict(PageIndex(1)).unwrap();
         assert_eq!(r.vpage, 3);
         assert_eq!(ft.free_count(), 2);
@@ -368,19 +393,19 @@ mod tests {
     #[should_panic(expected = "non-free frame")]
     fn double_install_panics() {
         let mut ft = FrameTable::new(2);
-        ft.install(PageIndex(0), ObjectId(0), 0);
-        ft.install(PageIndex(0), ObjectId(1), 0);
+        ft.install(PageIndex(0), Asid::SINGLE, ObjectId(0), 0);
+        ft.install(PageIndex(0), Asid::SINGLE, ObjectId(1), 0);
     }
 
     #[test]
     fn params_reservation_lifecycle() {
         let mut ft = FrameTable::new(2);
-        ft.reserve_params(PageIndex(0));
-        assert_eq!(ft.state(PageIndex(0)), FrameState::Params);
+        ft.reserve_params(PageIndex(0), Asid::SINGLE);
+        assert_eq!(ft.state(PageIndex(0)), FrameState::Params(Asid::SINGLE));
         assert_eq!(ft.find_free(), Some(PageIndex(1)));
         // Params frames are not evictable.
         assert_eq!(ft.evict(PageIndex(0)), None);
-        assert_eq!(ft.state(PageIndex(0)), FrameState::Params);
+        assert_eq!(ft.state(PageIndex(0)), FrameState::Params(Asid::SINGLE));
         assert!(ft.release_params(PageIndex(0)));
         assert!(!ft.release_params(PageIndex(0)));
         assert_eq!(ft.free_count(), 2);
@@ -389,8 +414,8 @@ mod tests {
     #[test]
     fn clear_resets() {
         let mut ft = FrameTable::new(3);
-        ft.install(PageIndex(0), ObjectId(0), 0);
-        ft.reserve_params(PageIndex(1));
+        ft.install(PageIndex(0), Asid::SINGLE, ObjectId(0), 0);
+        ft.reserve_params(PageIndex(1), Asid::SINGLE);
         ft.clear();
         assert_eq!(ft.free_count(), 3);
     }
@@ -404,24 +429,27 @@ mod tests {
     #[test]
     fn load_lifecycle_pins_frame() {
         let mut ft = FrameTable::new(2);
-        let r = ft.begin_load(PageIndex(0), ObjectId(1), 4);
+        let r = ft.begin_load(PageIndex(0), Asid::SINGLE, ObjectId(1), 4);
         assert_eq!(r.vpage, 4);
         assert_eq!(ft.pinned_count(), 1);
         // Pinned frames are invisible to allocation, lookup and eviction.
         assert_eq!(ft.find_free(), Some(PageIndex(1)));
-        assert_eq!(ft.frame_of(ObjectId(1), 4), None);
+        assert_eq!(ft.frame_of(Asid::SINGLE, ObjectId(1), 4), None);
         assert!(ft.residents().is_empty());
         assert_eq!(ft.evict(PageIndex(0)), None);
         let done = ft.finish_load(PageIndex(0)).unwrap();
         assert_eq!(done, r);
         assert_eq!(ft.pinned_count(), 0);
-        assert_eq!(ft.frame_of(ObjectId(1), 4), Some(PageIndex(0)));
+        assert_eq!(
+            ft.frame_of(Asid::SINGLE, ObjectId(1), 4),
+            Some(PageIndex(0))
+        );
     }
 
     #[test]
     fn cancel_load_frees_without_mapping() {
         let mut ft = FrameTable::new(1);
-        ft.begin_load(PageIndex(0), ObjectId(0), 0);
+        ft.begin_load(PageIndex(0), Asid::SINGLE, ObjectId(0), 0);
         assert!(ft.cancel_load(PageIndex(0)).is_some());
         assert_eq!(ft.free_count(), 1);
         assert_eq!(ft.finish_load(PageIndex(0)), None);
@@ -430,25 +458,30 @@ mod tests {
     #[test]
     fn evict_lifecycle_and_coalesced_retarget() {
         let mut ft = FrameTable::new(2);
-        ft.install(PageIndex(0), ObjectId(0), 7);
+        ft.install(PageIndex(0), Asid::SINGLE, ObjectId(0), 7);
         let victim = ft.begin_evict(PageIndex(0)).unwrap();
         assert_eq!(victim.vpage, 7);
         assert_eq!(ft.pinned_count(), 1);
-        assert_eq!(ft.frame_of(ObjectId(0), 7), None);
+        assert_eq!(ft.frame_of(Asid::SINGLE, ObjectId(0), 7), None);
         // Coalesce: the write-back completes straight into a new load
         // without the frame ever appearing free.
-        let incoming = ft.retarget_load(PageIndex(0), ObjectId(2), 1).unwrap();
+        let incoming = ft
+            .retarget_load(PageIndex(0), Asid::SINGLE, ObjectId(2), 1)
+            .unwrap();
         assert!(incoming.loaded_seq > victim.loaded_seq);
         assert_eq!(ft.state(PageIndex(0)), FrameState::Loading(incoming));
         assert_eq!(ft.free_count(), 1);
         ft.finish_load(PageIndex(0)).unwrap();
-        assert_eq!(ft.frame_of(ObjectId(2), 1), Some(PageIndex(0)));
+        assert_eq!(
+            ft.frame_of(Asid::SINGLE, ObjectId(2), 1),
+            Some(PageIndex(0))
+        );
     }
 
     #[test]
     fn finish_evict_releases_frame() {
         let mut ft = FrameTable::new(1);
-        ft.install(PageIndex(0), ObjectId(0), 0);
+        ft.install(PageIndex(0), Asid::SINGLE, ObjectId(0), 0);
         ft.begin_evict(PageIndex(0)).unwrap();
         let gone = ft.finish_evict(PageIndex(0)).unwrap();
         assert_eq!(gone.obj, ObjectId(0));
@@ -460,7 +493,7 @@ mod tests {
     #[should_panic(expected = "non-free frame")]
     fn begin_load_into_occupied_frame_panics() {
         let mut ft = FrameTable::new(1);
-        ft.install(PageIndex(0), ObjectId(0), 0);
-        ft.begin_load(PageIndex(0), ObjectId(1), 0);
+        ft.install(PageIndex(0), Asid::SINGLE, ObjectId(0), 0);
+        ft.begin_load(PageIndex(0), Asid::SINGLE, ObjectId(1), 0);
     }
 }

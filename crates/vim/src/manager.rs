@@ -8,11 +8,11 @@
 //! every action through the [`OsCostModel`] so the caller can split time
 //! into the paper's `SW (DP)` and `SW (IMU)` components.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use vcop_fabric::port::ObjectId;
 use vcop_imu::imu::{ElemSize, FaultCause, Imu};
-use vcop_imu::tlb::{TlbEntry, VirtualPage};
+use vcop_imu::tlb::{Asid, TlbEntry, VirtualPage};
 use vcop_sim::bus::SlaveProfile;
 use vcop_sim::clock::ClockDomain;
 use vcop_sim::dma::{AsyncDmaEngine, TransferId};
@@ -124,6 +124,9 @@ pub struct DemandReady {
     pub at: SimTime,
     /// Frame now holding the demand page.
     pub frame: PageIndex,
+    /// Address space whose stalled coprocessor can now resume (the
+    /// multi-tenant engine routes the wake-up by this).
+    pub asid: Asid,
 }
 
 /// The load that takes over an `Evicting` frame once its write-back
@@ -131,6 +134,7 @@ pub struct DemandReady {
 /// between the outgoing and incoming page).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ChainedLoad {
+    asid: Asid,
     obj: ObjectId,
     vpage: u32,
     /// The coprocessor is stalled on this page.
@@ -152,6 +156,8 @@ enum InFlightKind {
 struct InFlight {
     ticket: TransferId,
     frame: PageIndex,
+    /// Address space the moving page belongs to.
+    asid: Asid,
     /// Page moving (inbound for loads, outbound for write-backs).
     obj: ObjectId,
     vpage: u32,
@@ -162,14 +168,22 @@ struct InFlight {
 #[derive(Debug)]
 pub struct Vim {
     config: VimConfig,
-    objects: BTreeMap<u8, MappedObject>,
+    /// Mapped objects, keyed by `(asid, object id)`: object ids are
+    /// per-process names, so two tenants can both map an `ObjectId(0)`.
+    objects: BTreeMap<(u16, u8), MappedObject>,
     frames: FrameTable,
     policy: Box<dyn ReplacementPolicy>,
     cost: OsCostModel,
     counters: Counters,
     times: TimeBuckets,
     user_alloc_next: usize,
-    param_frame: Option<PageIndex>,
+    /// Parameter frame per address space (one per active execution).
+    param_frames: BTreeMap<u16, PageIndex>,
+    /// Address space the syscall-facing methods act for.
+    current_asid: Asid,
+    /// Per-tenant frame ownership ranges; `None` = fully shared frames
+    /// (any tenant's allocation may steal any resident frame).
+    partition: Option<BTreeMap<u16, (usize, usize)>>,
     /// The async DMA engine (overlapped paging only).
     dma: Option<AsyncDmaEngine>,
     /// Bus clock the engine advances on; [`Vim::advance_dma`] catches it
@@ -177,10 +191,10 @@ pub struct Vim {
     bus_clock: Option<ClockDomain>,
     /// Transfers queued on the engine, by ticket.
     in_flight: Vec<InFlight>,
-    /// A demand page whose load could not start because every candidate
+    /// Demand pages whose loads could not start because every candidate
     /// frame was pinned by an in-flight transfer; retried on each
-    /// completion.
-    deferred_demand: Option<(ObjectId, u32)>,
+    /// completion. One entry per stalled tenant.
+    deferred_demand: VecDeque<(Asid, ObjectId, u32)>,
 }
 
 impl Vim {
@@ -208,11 +222,56 @@ impl Vim {
             times: TimeBuckets::new(),
             // Skip address 0 so object bases look like real user pointers.
             user_alloc_next: 0x10000,
-            param_frame: None,
+            param_frames: BTreeMap::new(),
+            current_asid: Asid::SINGLE,
+            partition: None,
             dma,
             bus_clock,
             in_flight: Vec::new(),
-            deferred_demand: None,
+            deferred_demand: VecDeque::new(),
+        }
+    }
+
+    /// The address space the syscall-facing methods currently act for.
+    pub fn asid(&self) -> Asid {
+        self.current_asid
+    }
+
+    /// Selects the address space for subsequent syscalls and services.
+    /// The multi-tenant engine calls this on every context switch,
+    /// together with [`Imu::set_asid`].
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.current_asid = asid;
+    }
+
+    /// Assigns each tenant an exclusive frame range (`start..end`).
+    /// Allocations for a tenant then never leave its range, so tenants
+    /// cannot steal each other's frames — the "partitioned" arm of the
+    /// throughput ablation. Pass ranges covering disjoint frames; no
+    /// validation is performed beyond clamping to the frame count.
+    pub fn partition_frames(&mut self, ranges: &[(Asid, core::ops::Range<usize>)]) {
+        self.partition = Some(
+            ranges
+                .iter()
+                .map(|(a, r)| (a.0, (r.start, r.end)))
+                .collect(),
+        );
+    }
+
+    /// Returns to fully shared frame ownership.
+    pub fn clear_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// The frame range tenant `asid` may allocate from.
+    fn alloc_range(&self, asid: Asid) -> core::ops::Range<usize> {
+        match self
+            .partition
+            .as_ref()
+            .and_then(|p| p.get(&asid.0).copied())
+        {
+            Some((start, end)) => start..end,
+            None => 0..self.config.frame_count,
         }
     }
 
@@ -268,15 +327,23 @@ impl Vim {
         &self.times
     }
 
-    /// The mapped object `id`, if present.
+    /// The mapped object `id` of the current address space, if present.
     pub fn object(&self, id: ObjectId) -> Option<&MappedObject> {
-        self.objects.get(&id.0)
+        self.objects.get(&(self.current_asid.0, id.0))
     }
 
-    /// Removes and returns object `id` (results retrieval after
-    /// end-of-operation service).
+    /// Objects mapped by the current address space, in id order.
+    fn own_objects(&self) -> impl Iterator<Item = &MappedObject> {
+        let asid = self.current_asid.0;
+        self.objects
+            .range((asid, 0)..=(asid, u8::MAX))
+            .map(|(_, o)| o)
+    }
+
+    /// Removes and returns object `id` of the current address space
+    /// (results retrieval after end-of-operation service).
     pub fn take_object(&mut self, id: ObjectId) -> Option<MappedObject> {
-        let taken = self.objects.remove(&id.0);
+        let taken = self.objects.remove(&(self.current_asid.0, id.0));
         if self.objects.is_empty() {
             // With nothing mapped the user allocator can rewind, so a
             // re-mapped object set lands on the same user addresses (and
@@ -305,7 +372,7 @@ impl Vim {
         if id.is_param() {
             return Err(VimError::ReservedObject);
         }
-        if self.objects.contains_key(&id.0) {
+        if self.objects.contains_key(&(self.current_asid.0, id.0)) {
             return Err(VimError::DuplicateObject(id));
         }
         if data.is_empty() {
@@ -317,7 +384,7 @@ impl Vim {
         let user_base = self.user_alloc_next;
         self.user_alloc_next += data.len().next_multiple_of(64);
         self.objects.insert(
-            id.0,
+            (self.current_asid.0, id.0),
             MappedObject::new(id, direction, elem, data, user_base, hints),
         );
         let t = self.cost.syscall_time();
@@ -359,12 +426,13 @@ impl Vim {
         self.frames.clear();
         imu.tlb_mut().invalidate_all();
         imu.clear_object_layouts();
-        for o in self.objects.values() {
+        let asid = self.current_asid;
+        for o in self.own_objects() {
             imu.set_object_layout(o.id(), o.elem());
         }
         let pframe = PageIndex(0);
-        self.frames.reserve_params(pframe);
-        self.param_frame = Some(pframe);
+        self.frames.reserve_params(pframe, asid);
+        self.param_frames.insert(asid.0, pframe);
         let base = pframe.0 * self.config.page_bytes;
         for (i, &w) in params.iter().enumerate() {
             dpram
@@ -381,8 +449,7 @@ impl Vim {
         if self.config.preload {
             let plan: Vec<(ObjectId, u32)> = {
                 let ids: Vec<(ObjectId, u32)> = self
-                    .objects
-                    .values()
+                    .own_objects()
                     .map(|o| (o.id(), o.page_count(self.config.page_bytes)))
                     .collect();
                 let max_pages = ids.iter().map(|&(_, p)| p).max().unwrap_or(0);
@@ -398,7 +465,7 @@ impl Vim {
                 let Some(frame) = self.frames.find_free() else {
                     break;
                 };
-                self.install_page(obj, vpage, frame, imu, dpram, &mut preload_times);
+                self.install_page(asid, obj, vpage, frame, imu, dpram, &mut preload_times);
             }
         }
 
@@ -414,26 +481,85 @@ impl Vim {
         Ok(t)
     }
 
+    /// Implements the setup half of `FPGA_EXECUTE` for one tenant of a
+    /// shared coprocessor: programs the current address space's object
+    /// layouts, allocates and fills a parameter page, and leaves every
+    /// other tenant's frames, TLB entries and in-flight transfers
+    /// untouched. No pages are preloaded — a shared interface memory is
+    /// demand-paged so tenants only occupy frames they actually use.
+    /// Returns the setup service time; the caller then asserts
+    /// `CR.start`.
+    ///
+    /// # Errors
+    ///
+    /// [`VimError::TooManyParams`] as for [`Vim::prepare_execute`];
+    /// [`VimError::NoFrameAvailable`] when no frame in the tenant's
+    /// allocation range is free for the parameter page.
+    pub fn prepare_execute_multi(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        params: &[u32],
+    ) -> Result<SimTime, VimError> {
+        let capacity = self.config.page_bytes / 4;
+        if params.len() > capacity {
+            return Err(VimError::TooManyParams {
+                requested: params.len(),
+                capacity,
+            });
+        }
+        let asid = self.current_asid;
+        imu.clear_object_layouts();
+        for o in self.own_objects() {
+            imu.set_object_layout(o.id(), o.elem());
+        }
+        let pframe = self
+            .frames
+            .find_free_in(self.alloc_range(asid))
+            .ok_or(VimError::NoFrameAvailable)?;
+        self.frames.reserve_params(pframe, asid);
+        self.param_frames.insert(asid.0, pframe);
+        let base = pframe.0 * self.config.page_bytes;
+        for (i, &w) in params.iter().enumerate() {
+            dpram
+                .write_word(Port::Cpu, base + i * 4, w)
+                .expect("parameter page is in range");
+        }
+        imu.set_param_frame(pframe);
+        let t = self.cost.syscall_time() + self.cost.param_setup_time(params.len());
+        self.times.add("sw_imu", self.cost.syscall_time());
+        self.times
+            .add("sw_dp", self.cost.param_setup_time(params.len()));
+        Ok(t)
+    }
+
     /// Releases the parameter frame if the coprocessor has invalidated
     /// the parameter page since the last service.
     fn reap_param_frame(&mut self, imu: &Imu) {
         if imu.param_frame().is_none() {
-            if let Some(f) = self.param_frame.take() {
+            if let Some(f) = self.param_frames.remove(&self.current_asid.0) {
                 self.frames.release_params(f);
                 self.counters.incr("param_freed");
             }
         }
     }
 
-    fn frame_views(&self, imu: &Imu) -> Vec<FrameView> {
+    /// Replacement-candidate views for an allocation by `asid`: every
+    /// unpinned resident frame in the tenant's allocation range. With
+    /// shared frames that is all residents — another tenant's page is a
+    /// legitimate victim (its write-back is the lazy, pay-per-steal part
+    /// of the context switch); partitioned, only the tenant's own.
+    fn frame_views(&self, imu: &Imu, asid: Asid) -> Vec<FrameView> {
+        let range = self.alloc_range(asid);
         self.frames
             .residents()
             .into_iter()
+            .filter(|(frame, _)| range.contains(&frame.0))
             .map(|(frame, r)| {
                 let usage = imu.tlb().usage(frame.0);
                 let sticky = self
                     .objects
-                    .get(&r.obj.0)
+                    .get(&(r.asid.0, r.obj.0))
                     .map(|o| o.hints().sticky)
                     .unwrap_or(false);
                 FrameView {
@@ -452,12 +578,16 @@ impl Vim {
     /// `None` when the load is skipped for a pure-`OUT` object.
     fn copy_page_in(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
         dpram: &mut DualPortRam,
     ) -> Option<(usize, usize)> {
-        let o = self.objects.get(&obj.0).expect("validated by caller");
+        let o = self
+            .objects
+            .get(&(asid.0, obj.0))
+            .expect("validated by caller");
         let (start, end) = o
             .page_range(vpage, self.config.page_bytes)
             .expect("validated by caller");
@@ -478,6 +608,7 @@ impl Vim {
     /// cost accounting). Returns `(user_addr, bytes)`.
     fn copy_page_out(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
@@ -486,7 +617,7 @@ impl Vim {
         let page_bytes = self.config.page_bytes;
         let o = self
             .objects
-            .get_mut(&obj.0)
+            .get_mut(&(asid.0, obj.0))
             .expect("resident object exists");
         let (start, end) = o
             .page_range(vpage, page_bytes)
@@ -507,12 +638,13 @@ impl Vim {
     /// pure-`OUT` object).
     fn load_page(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
         dpram: &mut DualPortRam,
     ) -> SimTime {
-        match self.copy_page_in(obj, vpage, frame, dpram) {
+        match self.copy_page_in(asid, obj, vpage, frame, dpram) {
             Some((user_addr, bytes)) => self.cost.page_move_time(user_addr, bytes),
             None => SimTime::ZERO,
         }
@@ -522,12 +654,13 @@ impl Vim {
     /// the transfer time.
     fn writeback_page(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
         dpram: &mut DualPortRam,
     ) -> SimTime {
-        let (user_addr, bytes) = self.copy_page_out(obj, vpage, frame, dpram);
+        let (user_addr, bytes) = self.copy_page_out(asid, obj, vpage, frame, dpram);
         self.cost.page_move_time(user_addr, bytes)
     }
 
@@ -535,14 +668,15 @@ impl Vim {
     /// dirty victim) if necessary.
     fn allocate_frame(
         &mut self,
+        asid: Asid,
         imu: &mut Imu,
         dpram: &mut DualPortRam,
         out: &mut ServiceTimes,
     ) -> Result<PageIndex, VimError> {
-        if let Some(f) = self.frames.find_free() {
+        if let Some(f) = self.frames.find_free_in(self.alloc_range(asid)) {
             return Ok(f);
         }
-        let views = self.frame_views(imu);
+        let views = self.frame_views(imu, asid);
         if views.is_empty() {
             return Err(VimError::NoFrameAvailable);
         }
@@ -552,9 +686,15 @@ impl Vim {
             _ => return Err(VimError::NoFrameAvailable),
         };
         // The TLB entry for a frame lives at the same index (one entry
-        // per frame; see vcop-imu::tlb).
+        // per frame; see vcop-imu::tlb). The victim may belong to a
+        // parked tenant — the write-back is priced here, lazily, only
+        // because the incoming tenant actually steals the frame.
+        if resident.asid != asid {
+            self.counters.incr("cross_asid_steal");
+        }
         if imu.tlb().entry(victim.0).dirty {
-            out.dp += self.writeback_page(resident.obj, resident.vpage, victim, dpram);
+            out.dp +=
+                self.writeback_page(resident.asid, resident.obj, resident.vpage, victim, dpram);
         }
         imu.tlb_mut().invalidate(victim.0);
         out.imu += self.cost.tlb_update_time();
@@ -570,15 +710,16 @@ impl Vim {
     /// speculation would cost a write-back.
     fn allocate_prefetch_frame(
         &mut self,
+        asid: Asid,
         imu: &mut Imu,
         protect: PageIndex,
         out: &mut ServiceTimes,
     ) -> Option<PageIndex> {
-        if let Some(f) = self.frames.find_free() {
+        if let Some(f) = self.frames.find_free_in(self.alloc_range(asid)) {
             return Some(f);
         }
         let views: Vec<FrameView> = self
-            .frame_views(imu)
+            .frame_views(imu, asid)
             .into_iter()
             .filter(|v| v.frame != protect.0 && !imu.tlb().entry(v.frame).dirty)
             .collect();
@@ -597,8 +738,10 @@ impl Vim {
 
     /// Installs page `vpage` of `obj` into `frame`: loads the data and
     /// writes the TLB entry.
+    #[allow(clippy::too_many_arguments)]
     fn install_page(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
@@ -606,13 +749,14 @@ impl Vim {
         dpram: &mut DualPortRam,
         out: &mut ServiceTimes,
     ) {
-        out.dp += self.load_page(obj, vpage, frame, dpram);
-        self.frames.install(frame, obj, vpage);
+        out.dp += self.load_page(asid, obj, vpage, frame, dpram);
+        self.frames.install(frame, asid, obj, vpage);
         imu.tlb_mut().set_entry(
             frame.0,
             TlbEntry {
                 valid: true,
                 dirty: false,
+                asid,
                 vpage: VirtualPage { obj, page: vpage },
                 frame,
             },
@@ -628,11 +772,11 @@ impl Vim {
 
     /// Whether page `vpage` of `obj` is inbound on an in-flight transfer
     /// (a queued load, or the chained load of a write-back).
-    fn is_inbound(&self, obj: ObjectId, vpage: u32) -> bool {
+    fn is_inbound(&self, asid: Asid, obj: ObjectId, vpage: u32) -> bool {
         self.in_flight.iter().any(|f| match f.kind {
-            InFlightKind::Load { .. } => f.obj == obj && f.vpage == vpage,
+            InFlightKind::Load { .. } => f.asid == asid && f.obj == obj && f.vpage == vpage,
             InFlightKind::Writeback { then_load } => {
-                matches!(then_load, Some(c) if c.obj == obj && c.vpage == vpage)
+                matches!(then_load, Some(c) if c.asid == asid && c.obj == obj && c.vpage == vpage)
             }
         })
     }
@@ -640,15 +784,17 @@ impl Vim {
     /// Marks the inbound transfer of `(obj, vpage)` — queued load or
     /// chained load — as the demand the coprocessor is stalled on.
     /// Returns whether such a transfer existed.
-    fn mark_inbound_demand(&mut self, obj: ObjectId, vpage: u32) -> bool {
+    fn mark_inbound_demand(&mut self, asid: Asid, obj: ObjectId, vpage: u32) -> bool {
         for f in &mut self.in_flight {
             match &mut f.kind {
-                InFlightKind::Load { demand } if f.obj == obj && f.vpage == vpage => {
+                InFlightKind::Load { demand }
+                    if f.asid == asid && f.obj == obj && f.vpage == vpage =>
+                {
                     *demand = true;
                     return true;
                 }
                 InFlightKind::Writeback { then_load: Some(c) }
-                    if c.obj == obj && c.vpage == vpage =>
+                    if c.asid == asid && c.obj == obj && c.vpage == vpage =>
                 {
                     c.demand = true;
                     return true;
@@ -668,6 +814,7 @@ impl Vim {
     #[allow(clippy::too_many_arguments)]
     fn submit_load(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         frame: PageIndex,
@@ -680,7 +827,7 @@ impl Vim {
         // descriptor-only transfer still round-trips the engine so every
         // demand resolves through the same completion path.
         let bytes = self
-            .copy_page_in(obj, vpage, frame, dpram)
+            .copy_page_in(asid, obj, vpage, frame, dpram)
             .map_or(0, |(_, bytes)| bytes);
         let bus = *self.cost.bus();
         let ticket = self.dma.as_mut().expect("overlap engine").submit(
@@ -694,6 +841,7 @@ impl Vim {
             TlbEntry {
                 valid: false,
                 dirty: false,
+                asid,
                 vpage: VirtualPage { obj, page: vpage },
                 frame,
             },
@@ -702,6 +850,7 @@ impl Vim {
         self.in_flight.push(InFlight {
             ticket,
             frame,
+            asid,
             obj,
             vpage,
             kind: InFlightKind::Load { demand },
@@ -722,7 +871,8 @@ impl Vim {
         dpram: &mut DualPortRam,
         out: &mut ServiceTimes,
     ) {
-        let (_, bytes) = self.copy_page_out(resident.obj, resident.vpage, frame, dpram);
+        let (_, bytes) =
+            self.copy_page_out(resident.asid, resident.obj, resident.vpage, frame, dpram);
         let bus = *self.cost.bus();
         let ticket = self.dma.as_mut().expect("overlap engine").submit(
             &bus,
@@ -734,6 +884,7 @@ impl Vim {
         self.in_flight.push(InFlight {
             ticket,
             frame,
+            asid: resident.asid,
             obj: resident.obj,
             vpage: resident.vpage,
             kind: InFlightKind::Writeback { then_load },
@@ -747,18 +898,19 @@ impl Vim {
     /// every candidate frame is pinned (the caller defers the demand).
     fn start_demand_load(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         imu: &mut Imu,
         dpram: &mut DualPortRam,
         out: &mut ServiceTimes,
     ) -> bool {
-        if let Some(frame) = self.frames.find_free() {
-            self.frames.begin_load(frame, obj, vpage);
-            self.submit_load(obj, vpage, frame, true, imu, dpram, out);
+        if let Some(frame) = self.frames.find_free_in(self.alloc_range(asid)) {
+            self.frames.begin_load(frame, asid, obj, vpage);
+            self.submit_load(asid, obj, vpage, frame, true, imu, dpram, out);
             return true;
         }
-        let views = self.frame_views(imu);
+        let views = self.frame_views(imu, asid);
         if views.is_empty() {
             return false;
         }
@@ -767,6 +919,9 @@ impl Vim {
             FrameState::Resident(r) => r,
             _ => return false,
         };
+        if resident.asid != asid {
+            self.counters.incr("cross_asid_steal");
+        }
         let dirty = imu.tlb().entry(victim.0).dirty;
         imu.tlb_mut().invalidate(victim.0);
         out.imu += self.cost.tlb_update_time();
@@ -778,6 +933,7 @@ impl Vim {
                 victim,
                 resident,
                 Some(ChainedLoad {
+                    asid,
                     obj,
                     vpage,
                     demand: true,
@@ -787,8 +943,8 @@ impl Vim {
             );
         } else {
             self.frames.evict(victim);
-            self.frames.begin_load(victim, obj, vpage);
-            self.submit_load(obj, vpage, victim, true, imu, dpram, out);
+            self.frames.begin_load(victim, asid, obj, vpage);
+            self.submit_load(asid, obj, vpage, victim, true, imu, dpram, out);
         }
         true
     }
@@ -799,17 +955,18 @@ impl Vim {
     /// transfer. Returns `false` when no frame qualifies.
     fn start_prefetch_load(
         &mut self,
+        asid: Asid,
         obj: ObjectId,
         vpage: u32,
         imu: &mut Imu,
         dpram: &mut DualPortRam,
         out: &mut ServiceTimes,
     ) -> bool {
-        let frame = if let Some(f) = self.frames.find_free() {
+        let frame = if let Some(f) = self.frames.find_free_in(self.alloc_range(asid)) {
             f
         } else {
             let views: Vec<FrameView> = self
-                .frame_views(imu)
+                .frame_views(imu, asid)
                 .into_iter()
                 .filter(|v| !imu.tlb().entry(v.frame).dirty)
                 .collect();
@@ -825,39 +982,44 @@ impl Vim {
             self.counters.incr("eviction");
             victim
         };
-        self.frames.begin_load(frame, obj, vpage);
-        self.submit_load(obj, vpage, frame, false, imu, dpram, out);
+        self.frames.begin_load(frame, asid, obj, vpage);
+        self.submit_load(asid, obj, vpage, frame, false, imu, dpram, out);
         true
     }
 
-    /// Retries a deferred demand after a completion freed or unpinned
-    /// frames. Reports [`DemandReady`] directly if the page arrived by
-    /// other means (e.g. a speculative load of the same page).
+    /// Retries deferred demands after a completion freed or unpinned
+    /// frames. Reports [`DemandReady`] directly into `ready` if a page
+    /// arrived by other means (e.g. a speculative load of the same
+    /// page). With several tenants parked on the same engine, one
+    /// completion window can unblock more than one of them.
     fn retry_deferred(
         &mut self,
         t: SimTime,
         imu: &mut Imu,
         dpram: &mut DualPortRam,
-    ) -> Option<DemandReady> {
-        let (obj, vpage) = self.deferred_demand?;
-        if let Some(frame) = self.frames.frame_of(obj, vpage) {
-            self.deferred_demand = None;
-            return Some(DemandReady { at: t, frame });
+        ready: &mut Vec<DemandReady>,
+    ) {
+        let pending = std::mem::take(&mut self.deferred_demand);
+        for (asid, obj, vpage) in pending {
+            if let Some(frame) = self.frames.frame_of(asid, obj, vpage) {
+                ready.push(DemandReady { at: t, frame, asid });
+                continue;
+            }
+            if self.mark_inbound_demand(asid, obj, vpage) {
+                continue;
+            }
+            let mut out = ServiceTimes::default();
+            if self.start_demand_load(asid, obj, vpage, imu, dpram, &mut out) {
+                // Retry work happens under the completion interrupt,
+                // hidden from the synchronous stall only in the sense
+                // that the platform folds it into the demand wait it
+                // measures.
+                self.times.add("sw_imu", out.imu);
+                self.times.add("sw_dp", out.dp);
+            } else {
+                self.deferred_demand.push_back((asid, obj, vpage));
+            }
         }
-        if self.mark_inbound_demand(obj, vpage) {
-            self.deferred_demand = None;
-            return None;
-        }
-        let mut out = ServiceTimes::default();
-        if self.start_demand_load(obj, vpage, imu, dpram, &mut out) {
-            self.deferred_demand = None;
-            // Retry work happens under the completion interrupt, hidden
-            // from the synchronous stall only in the sense that the
-            // platform folds it into the demand wait it measures.
-            self.times.add("sw_imu", out.imu);
-            self.times.add("sw_dp", out.dp);
-        }
-        None
     }
 
     /// Applies one engine completion at bus-edge time `t`.
@@ -867,7 +1029,8 @@ impl Vim {
         t: SimTime,
         imu: &mut Imu,
         dpram: &mut DualPortRam,
-    ) -> Option<DemandReady> {
+        ready: &mut Vec<DemandReady>,
+    ) {
         let idx = self
             .in_flight
             .iter()
@@ -884,6 +1047,7 @@ impl Vim {
                     TlbEntry {
                         valid: true,
                         dirty: false,
+                        asid: entry.asid,
                         vpage: VirtualPage {
                             obj: entry.obj,
                             page: entry.vpage,
@@ -896,10 +1060,11 @@ impl Vim {
                 if demand {
                     // Stall accounting (wait time, completion interrupt,
                     // resume) is the platform's: it knows the fault time.
-                    Some(DemandReady {
+                    ready.push(DemandReady {
                         at: t,
                         frame: entry.frame,
-                    })
+                        asid: entry.asid,
+                    });
                 } else {
                     // Fully hidden under coprocessor execution: the bus
                     // time goes to the separate hidden account, the
@@ -907,17 +1072,18 @@ impl Vim {
                     self.times
                         .add("dma_hidden", self.bus_time(completion.bus_cycles));
                     self.times.add("sw_imu", self.cost.dma_completion_time());
-                    self.retry_deferred(t, imu, dpram)
+                    self.retry_deferred(t, imu, dpram, ready);
                 }
             }
             InFlightKind::Writeback { then_load } => {
                 match then_load {
                     Some(chain) => {
                         self.frames
-                            .retarget_load(entry.frame, chain.obj, chain.vpage)
+                            .retarget_load(entry.frame, chain.asid, chain.obj, chain.vpage)
                             .expect("completed write-back frame was Evicting");
                         let mut out = ServiceTimes::default();
                         self.submit_load(
+                            chain.asid,
                             chain.obj,
                             chain.vpage,
                             entry.frame,
@@ -939,7 +1105,7 @@ impl Vim {
                     }
                 }
                 self.times.add("sw_imu", self.cost.dma_completion_time());
-                self.retry_deferred(t, imu, dpram)
+                self.retry_deferred(t, imu, dpram, ready);
             }
         }
     }
@@ -959,8 +1125,24 @@ impl Vim {
         dpram: &mut DualPortRam,
         now: SimTime,
     ) -> Option<DemandReady> {
-        self.dma.as_ref()?;
-        let mut demand_ready = None;
+        self.advance_dma_all(imu, dpram, now).pop()
+    }
+
+    /// Like [`Vim::advance_dma`], but reports *every* demand-page
+    /// arrival in the window. With several tenants sharing the engine,
+    /// one advance can unblock more than one parked coprocessor
+    /// context; the single-`Option` form would silently drop all but
+    /// the last.
+    pub fn advance_dma_all(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        now: SimTime,
+    ) -> Vec<DemandReady> {
+        let mut ready = Vec::new();
+        if self.dma.is_none() {
+            return ready;
+        }
         loop {
             if !self.dma.as_ref().expect("checked above").busy() {
                 self.bus_clock
@@ -975,17 +1157,26 @@ impl Vim {
             }
             let t = clock.advance();
             if let Some(completion) = self.dma.as_mut().expect("checked above").tick() {
-                if let Some(ready) = self.handle_completion(completion, t, imu, dpram) {
-                    demand_ready = Some(ready);
-                }
+                self.handle_completion(completion, t, imu, dpram, &mut ready);
             }
         }
-        demand_ready
+        ready
     }
 
     /// Whether any DMA transfer is queued or in flight.
     pub fn dma_busy(&self) -> bool {
         self.dma.as_ref().is_some_and(|d| d.busy())
+    }
+
+    /// Next bus edge the DMA engine can make progress on, if transfers
+    /// are queued or in flight. The multi-tenant engine advances to this
+    /// instant when every tenant is parked waiting for a page.
+    pub fn dma_next_edge(&self) -> Option<SimTime> {
+        if self.dma_busy() {
+            self.bus_clock.as_ref().map(|c| c.next_edge())
+        } else {
+            None
+        }
     }
 
     /// Whether overlapped paging (an asynchronous DMA engine) is
@@ -1029,7 +1220,7 @@ impl Vim {
             }
             self.counters.incr("dma_cancelled");
         }
-        self.deferred_demand = None;
+        self.deferred_demand.clear();
     }
 
     /// Services a translation fault: the *Page Fault* request of
@@ -1050,6 +1241,7 @@ impl Vim {
         if !imu.status().fault {
             return Err(VimError::NoFaultPending);
         }
+        let asid = self.current_asid;
         let mut out = ServiceTimes {
             imu: self.cost.fault_entry_time(),
             ..Default::default()
@@ -1064,7 +1256,7 @@ impl Vim {
             FaultCause::TlbMiss { vpage, .. } => {
                 let o = self
                     .objects
-                    .get(&vpage.obj.0)
+                    .get(&(asid.0, vpage.obj.0))
                     .ok_or(VimError::UnknownObject(vpage.obj))?;
                 let pages = o.page_count(self.config.page_bytes);
                 let sequential = o.hints().sequential;
@@ -1082,17 +1274,20 @@ impl Vim {
                     // return with the coprocessor still stalled; it
                     // resumes on the completion interrupt, not at
                     // syscall/service return.
-                    if self.mark_inbound_demand(vpage.obj, vpage.page) {
+                    if self.mark_inbound_demand(asid, vpage.obj, vpage.page) {
                         // The page is already inbound (a speculative load
                         // raced the access): just wait for it.
                         self.counters.incr("fault_on_loading");
-                    } else if !self.start_demand_load(vpage.obj, vpage.page, imu, dpram, &mut out) {
+                    } else if !self
+                        .start_demand_load(asid, vpage.obj, vpage.page, imu, dpram, &mut out)
+                    {
                         if self.in_flight.is_empty() {
                             return Err(VimError::NoFrameAvailable);
                         }
                         // Every candidate frame is pinned by an in-flight
                         // transfer; retry as completions free them.
-                        self.deferred_demand = Some((vpage.obj, vpage.page));
+                        self.deferred_demand
+                            .push_back((asid, vpage.obj, vpage.page));
                         self.counters.incr("demand_deferred");
                     }
 
@@ -1101,13 +1296,14 @@ impl Vim {
                     // invisible to the policy, so in-flight pages are
                     // never stolen).
                     for target in self.config.prefetch.targets(vpage.page, pages, sequential) {
-                        if self.frames.frame_of(vpage.obj, target).is_some()
-                            || self.is_inbound(vpage.obj, target)
-                            || self.deferred_demand == Some((vpage.obj, target))
+                        if self.frames.frame_of(asid, vpage.obj, target).is_some()
+                            || self.is_inbound(asid, vpage.obj, target)
+                            || self.deferred_demand.contains(&(asid, vpage.obj, target))
                         {
                             continue;
                         }
-                        if !self.start_prefetch_load(vpage.obj, target, imu, dpram, &mut out) {
+                        if !self.start_prefetch_load(asid, vpage.obj, target, imu, dpram, &mut out)
+                        {
                             break;
                         }
                         self.counters.incr("prefetch");
@@ -1121,20 +1317,21 @@ impl Vim {
                     });
                 }
 
-                let frame = self.allocate_frame(imu, dpram, &mut out)?;
-                self.install_page(vpage.obj, vpage.page, frame, imu, dpram, &mut out);
+                let frame = self.allocate_frame(asid, imu, dpram, &mut out)?;
+                self.install_page(asid, vpage.obj, vpage.page, frame, imu, dpram, &mut out);
 
                 // Speculative loads: free frames first, then clean
                 // victims chosen by the policy — never the page just
                 // installed, and never at the price of a write-back.
                 for target in self.config.prefetch.targets(vpage.page, pages, sequential) {
-                    if self.frames.frame_of(vpage.obj, target).is_some() {
+                    if self.frames.frame_of(asid, vpage.obj, target).is_some() {
                         continue;
                     }
-                    let Some(slot) = self.allocate_prefetch_frame(imu, frame, &mut out) else {
+                    let Some(slot) = self.allocate_prefetch_frame(asid, imu, frame, &mut out)
+                    else {
                         break;
                     };
-                    self.install_page(vpage.obj, target, slot, imu, dpram, &mut out);
+                    self.install_page(asid, vpage.obj, target, slot, imu, dpram, &mut out);
                     self.counters.incr("prefetch");
                 }
             }
@@ -1178,7 +1375,57 @@ impl Vim {
         self.cancel_in_flight(imu);
         for (frame, resident) in self.frames.residents() {
             if imu.tlb().entry(frame.0).dirty {
-                out.dp += self.writeback_page(resident.obj, resident.vpage, frame, dpram);
+                out.dp +=
+                    self.writeback_page(resident.asid, resident.obj, resident.vpage, frame, dpram);
+            }
+            imu.tlb_mut().invalidate(frame.0);
+            self.frames.evict(frame);
+        }
+        imu.clear_done();
+        self.times.add("sw_dp", out.dp);
+        self.times.add("sw_imu", out.imu);
+        Ok(out)
+    }
+
+    /// End-of-operation service for a multi-tenant fabric: writes back
+    /// and releases only the *finishing tenant's* frames, leaving other
+    /// tenants' resident pages (and their in-flight demand loads)
+    /// untouched. The departing tenant's dirty pages are copied out
+    /// synchronously, exactly as in [`Vim::service_done`], but no
+    /// transfer is cancelled: parked tenants' demand loads must survive
+    /// a neighbour's completion.
+    ///
+    /// # Errors
+    ///
+    /// [`VimError::NotDone`] if the IMU does not report completion.
+    pub fn service_done_multi(
+        &mut self,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+    ) -> Result<ServiceTimes, VimError> {
+        if !imu.status().done {
+            return Err(VimError::NotDone);
+        }
+        let asid = self.current_asid;
+        let mut out = ServiceTimes {
+            imu: self.cost.done_service_time(),
+            ..Default::default()
+        };
+        self.reap_param_frame(imu);
+        // The execution is over: the parameter page is dead whether or
+        // not the coprocessor invalidated it. (The single-tenant path
+        // can leave this to `prepare_execute`'s full frame clear; here
+        // nothing ever clears the table wholesale.)
+        if let Some(f) = self.param_frames.remove(&asid.0) {
+            self.frames.release_params(f);
+        }
+        for (frame, resident) in self.frames.residents() {
+            if resident.asid != asid {
+                continue;
+            }
+            if imu.tlb().entry(frame.0).dirty {
+                out.dp +=
+                    self.writeback_page(resident.asid, resident.obj, resident.vpage, frame, dpram);
             }
             imu.tlb_mut().invalidate(frame.0);
             self.frames.evict(frame);

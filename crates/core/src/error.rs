@@ -30,6 +30,22 @@ pub enum Error {
         /// Interface memory capacity.
         available: usize,
     },
+    /// The recovery watchdog saw the coprocessor make no progress —
+    /// no translation, fault, page arrival or completion — for its
+    /// whole no-progress window (e.g. a demand page lost to an injected
+    /// DMA timeout). The platform resets the fabric and retries, or
+    /// falls back to software.
+    Watchdog {
+        /// Edges the coprocessor sat without progress before the
+        /// watchdog fired.
+        stalled_edges: u64,
+    },
+    /// Hardware recovery was exhausted and the registered software
+    /// fallback failed too (or rejected the request).
+    FallbackFailed {
+        /// The fallback's own failure description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -48,6 +64,13 @@ impl fmt::Display for Error {
                 f,
                 "dataset of {required} bytes exceeds available memory ({available} bytes)"
             ),
+            Error::Watchdog { stalled_edges } => write!(
+                f,
+                "watchdog: coprocessor made no progress for {stalled_edges} edges"
+            ),
+            Error::FallbackFailed { reason } => {
+                write!(f, "software fallback failed: {reason}")
+            }
         }
     }
 }

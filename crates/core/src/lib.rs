@@ -59,12 +59,14 @@
 
 pub mod baseline;
 pub mod error;
+pub mod fallback;
 pub mod multi;
 pub mod report;
 pub mod system;
 
 pub use baseline::{run_typical, TypicalConfig, TypicalObject};
 pub use error::Error;
+pub use fallback::{FallbackFn, FallbackIo, RecoveryPolicy, SoftwareFallback};
 pub use multi::{
     CoprocessorScheduler, DeficitRoundRobin, MultiReport, MultiSystem, MultiSystemBuilder, Request,
     RequestObject, RoundRobin, SchedulerKind,
@@ -76,6 +78,7 @@ pub use system::{Kernel, System, SystemBuilder};
 // code can depend on `vcop` alone.
 pub use vcop_fabric::port::{Coprocessor, ObjectId};
 pub use vcop_imu::imu::ElemSize;
+pub use vcop_sim::fault::{FaultInjector, FaultPlan, FaultSite};
 pub use vcop_vim::object::{Direction, MapHints};
 pub use vcop_vim::policy::PolicyKind;
 pub use vcop_vim::prefetch::PrefetchMode;

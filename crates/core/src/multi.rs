@@ -23,8 +23,18 @@
 //! costs [`OsOverheads::ctx_switch`](vcop_vim::OsOverheads) CPU cycles
 //! plus whatever frame write-backs the incoming tenant's demand misses
 //! later force (priced lazily, per stolen frame, by the VIM).
+//!
+//! With [`MultiSystemBuilder::faults`] the shared platform injects
+//! deterministic DMA and bus faults, which a [`FaultPlan::target`] can
+//! confine to one tenant's address space. A tenant whose transfers keep
+//! failing is *aborted and degraded*: its fabric state is torn down
+//! (co-tenants' chained work is rescued, their frames untouched), its
+//! interrupted request is completed by the tenant's registered
+//! [`SoftwareFallback`], and its remaining
+//! queue is served in software — co-tenants keep their hardware service
+//! and byte-identical outputs throughout.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use vcop_fabric::loader::ConfigController;
@@ -35,6 +45,7 @@ use vcop_imu::registers::ControlRegister;
 use vcop_imu::tlb::Asid;
 use vcop_sim::bus::BurstKind;
 use vcop_sim::clock::{ClockDomain, EdgeScheduler};
+use vcop_sim::fault::{FaultInjector, FaultPlan};
 use vcop_sim::histogram::LatencyHistogram;
 use vcop_sim::irq::{InterruptController, IrqLine};
 use vcop_sim::mem::DualPortRam;
@@ -46,10 +57,11 @@ use vcop_vim::manager::{DemandReady, Vim, VimConfig};
 use vcop_vim::object::{Direction, MapHints};
 use vcop_vim::policy::PolicyKind;
 use vcop_vim::prefetch::PrefetchMode;
-use vcop_vim::TransferMode;
+use vcop_vim::{TransferMode, VimError};
 
 use crate::error::Error;
-use crate::system::DEFAULT_EDGE_BUDGET;
+use crate::fallback::{FallbackIo, RecoveryPolicy, SoftwareFallback};
+use crate::system::{VimIo, DEFAULT_EDGE_BUDGET};
 
 /// Decides which runnable tenant gets the fabric at each yield point.
 ///
@@ -224,6 +236,12 @@ pub struct TenantStats {
     pub cp_cycles: u64,
     /// Per-request service latency (setup start → write-back end).
     pub latency: LatencyHistogram,
+    /// Requests served by the tenant's software fallback after the
+    /// tenant was degraded.
+    pub fallbacks: u64,
+    /// Hardware aborts: times the tenant's fabric state was torn down
+    /// after unrecoverable injected faults.
+    pub aborts: u64,
 }
 
 /// Execution phase of a tenant.
@@ -254,6 +272,7 @@ enum TenantState {
 #[derive(Debug)]
 struct ActiveRequest {
     manifest: Vec<(ObjectId, Direction)>,
+    params: Vec<u32>,
     started: SimTime,
 }
 
@@ -274,6 +293,9 @@ struct Tenant {
     active: Option<ActiveRequest>,
     completed: Vec<CompletedRequest>,
     stats: TenantStats,
+    /// Hardware service was withdrawn after unrecoverable faults; all
+    /// further requests are served by the software fallback.
+    degraded: bool,
 }
 
 /// Summary of one tenant after [`MultiSystem::run`].
@@ -307,6 +329,9 @@ pub struct MultiReport {
     pub cross_asid_steals: u64,
     /// Pages written back to user space across the run.
     pub page_writebacks: u64,
+    /// Requests served in software across all tenants (degraded
+    /// service after hardware aborts).
+    pub fallbacks: u64,
     /// Scheduling policy that produced this run.
     pub scheduler: &'static str,
     /// Per-tenant breakdown, in admission order.
@@ -339,6 +364,8 @@ pub struct MultiSystemBuilder {
     partition: bool,
     frame_limit: Option<usize>,
     edge_budget: u64,
+    faults: Option<FaultPlan>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl MultiSystemBuilder {
@@ -356,6 +383,8 @@ impl MultiSystemBuilder {
             partition: false,
             frame_limit: None,
             edge_budget: DEFAULT_EDGE_BUDGET,
+            faults: None,
+            recovery: None,
         }
     }
 
@@ -432,6 +461,23 @@ impl MultiSystemBuilder {
         self
     }
 
+    /// Arms deterministic fault injection with `plan` and, unless
+    /// [`MultiSystemBuilder::recovery`] overrides it, the default
+    /// [`RecoveryPolicy`]. Use [`FaultPlan::target`] to confine faults
+    /// to one tenant's address space.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the recovery policy. In the shared system only the
+    /// transfer-retry budget applies per fault; an exhausted budget
+    /// aborts and degrades the offending tenant rather than the run.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Assembles the system (no tenants yet).
     pub fn build(self) -> MultiSystem {
         let frames = self.frame_limit.map_or(self.device.page_count(), |limit| {
@@ -460,13 +506,20 @@ impl MultiSystemBuilder {
         let mut irq = InterruptController::new(1);
         let pld_irq = irq.line(0).expect("one line");
         irq.enable(pld_irq);
+        let recovery = self
+            .recovery
+            .or_else(|| self.faults.as_ref().map(|_| RecoveryPolicy::default()));
+        let mut vim = Vim::new(vim_config, cost);
+        if let Some(plan) = self.faults {
+            vim.set_fault_injector(FaultInjector::new(plan));
+        }
         MultiSystem {
             device: self.device,
             frames,
             dpram: DualPortRam::new(self.device.dpram_bytes, page_bytes)
                 .expect("device geometry is valid"),
             imu: Imu::new(ImuConfig::prototype(frames, page_bytes)),
-            vim: Vim::new(vim_config, cost),
+            vim,
             irq,
             pld_irq,
             trace: TraceSink::disabled(),
@@ -481,6 +534,8 @@ impl MultiSystemBuilder {
             config_time: SimTime::ZERO,
             ctx_switches: 0,
             ctx_switch_time: SimTime::ZERO,
+            recovery,
+            fallbacks: BTreeMap::new(),
         }
     }
 }
@@ -512,6 +567,9 @@ pub struct MultiSystem {
     config_time: SimTime,
     ctx_switches: u64,
     ctx_switch_time: SimTime,
+    recovery: Option<RecoveryPolicy>,
+    /// Per-tenant software fallbacks, keyed by ASID.
+    fallbacks: BTreeMap<u16, Box<dyn SoftwareFallback>>,
 }
 
 impl MultiSystem {
@@ -581,6 +639,7 @@ impl MultiSystem {
             active: None,
             completed: Vec::new(),
             stats: TenantStats::default(),
+            degraded: false,
         });
         if self.partition {
             let frames = self.frames;
@@ -602,6 +661,35 @@ impl MultiSystem {
             self.vim.partition_frames(&ranges);
         }
         Ok(asid)
+    }
+
+    /// Registers the software fallback used to serve `asid`'s requests
+    /// after the tenant is degraded. Without one, an unrecoverable
+    /// fault in the tenant's transfers fails the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asid` was not returned by [`MultiSystem::add_tenant`].
+    pub fn set_software_fallback(&mut self, asid: Asid, fallback: Box<dyn SoftwareFallback>) {
+        assert!(
+            self.tenants.iter().any(|t| t.asid == asid),
+            "fallback for an unknown tenant"
+        );
+        self.fallbacks.insert(asid.0, fallback);
+    }
+
+    /// The fault injector shared by the platform (opportunity and fired
+    /// counts per site).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        self.vim.fault_injector()
+    }
+
+    /// Whether `asid` has been degraded to software service.
+    pub fn is_degraded(&self, asid: Asid) -> bool {
+        self.tenants
+            .iter()
+            .find(|t| t.asid == asid)
+            .is_some_and(|t| t.degraded)
     }
 
     /// Queues a request for `asid`.
@@ -643,7 +731,15 @@ impl MultiSystem {
         let steals0 = self.vim.counters().get("cross_asid_steal");
         let wb0 = self.vim.counters().get("page_writeback");
         let requests0: u64 = self.tenants.iter().map(|t| t.stats.completed).sum();
+        let fallbacks0: u64 = self.tenants.iter().map(|t| t.stats.fallbacks).sum();
         loop {
+            // Degraded tenants never touch the fabric again: their
+            // queued requests are served by the software fallback.
+            for idx in 0..self.tenants.len() {
+                if self.tenants[idx].degraded && self.tenants[idx].state == TenantState::Ready {
+                    self.serve_queue_in_software(idx)?;
+                }
+            }
             let runnable: Vec<Asid> = self
                 .tenants
                 .iter()
@@ -658,9 +754,37 @@ impl MultiSystem {
                 if !parked {
                     break; // every queue drained
                 }
+                // Recovery: a parked tenant whose demand transfer was
+                // lost to an injected fault will never see a completion
+                // interrupt — abort its hardware state and degrade it.
+                if self.recovery.is_some() {
+                    let lost: Vec<usize> = (0..self.tenants.len())
+                        .filter(|&i| {
+                            matches!(self.tenants[i].state, TenantState::Parked { .. })
+                                && self.vim.demand_lost_for(self.tenants[i].asid)
+                        })
+                        .collect();
+                    if !lost.is_empty() {
+                        for idx in lost {
+                            self.abort_degrade(idx, None)?;
+                        }
+                        continue;
+                    }
+                }
                 // All tenants are waiting for pages: idle the fabric to
                 // the next DMA bus edge and retry.
                 let Some(te) = self.vim.dma_next_edge() else {
+                    // The engine is idle yet tenants are parked: their
+                    // transfers are gone. With recovery armed, abort
+                    // every parked tenant; otherwise this is a hang.
+                    if self.recovery.is_some() {
+                        for idx in 0..self.tenants.len() {
+                            if matches!(self.tenants[idx].state, TenantState::Parked { .. }) {
+                                self.abort_degrade(idx, None)?;
+                            }
+                        }
+                        continue;
+                    }
                     return Err(Error::Timeout {
                         budget: self.edge_budget,
                     });
@@ -678,19 +802,17 @@ impl MultiSystem {
                 .iter()
                 .position(|t| t.asid == pick)
                 .expect("scheduler picked an admitted tenant");
-            self.context_switch(idx);
-            let segment_start = match self.tenants[idx].state {
-                TenantState::Ready => self.start_request(idx)?,
-                TenantState::Resumable { at, t_fault } => {
-                    self.imu.resume();
-                    let start = self.now.max(self.cpu_free_at).max(at);
-                    let t = &mut self.tenants[idx];
-                    t.stats.stall += start.saturating_sub(t_fault);
-                    start
+            match self.run_slice(idx) {
+                Ok(()) => {}
+                // A transfer that kept failing past the retry budget, or
+                // dirty data lost to a parity upset: the hardware run of
+                // this tenant cannot be trusted. Degrade the tenant and
+                // keep serving the others.
+                Err(e) if self.recovery.is_some() && Self::tenant_recoverable(&e) => {
+                    self.abort_degrade(idx, Some(e))?;
                 }
-                _ => unreachable!("picked tenant is runnable"),
-            };
-            self.run_segment(idx, segment_start)?;
+                Err(e) => return Err(e),
+            }
         }
         Ok(MultiReport {
             wall: self.now.max(self.cpu_free_at),
@@ -700,6 +822,7 @@ impl MultiSystem {
             ctx_switch_time: self.ctx_switch_time,
             cross_asid_steals: self.vim.counters().get("cross_asid_steal") - steals0,
             page_writebacks: self.vim.counters().get("page_writeback") - wb0,
+            fallbacks: self.tenants.iter().map(|t| t.stats.fallbacks).sum::<u64>() - fallbacks0,
             scheduler: self.scheduler.name(),
             tenants: self
                 .tenants
@@ -714,10 +837,152 @@ impl MultiSystem {
                         stall: t.stats.stall,
                         cp_cycles: t.stats.cp_cycles,
                         latency: t.stats.latency.clone(),
+                        fallbacks: t.stats.fallbacks,
+                        aborts: t.stats.aborts,
                     },
                 })
                 .collect(),
         })
+    }
+
+    /// An error that condemns one tenant's hardware service rather than
+    /// the whole run.
+    fn tenant_recoverable(e: &Error) -> bool {
+        matches!(
+            e,
+            Error::Vim(VimError::TransferFault { .. } | VimError::ParityLoss { .. })
+        )
+    }
+
+    /// Runs one scheduling slice for tenant `idx`: context switch,
+    /// request start or resume, then a fabric segment to the next yield.
+    fn run_slice(&mut self, idx: usize) -> Result<(), Error> {
+        self.context_switch(idx);
+        let segment_start = match self.tenants[idx].state {
+            TenantState::Ready => self.start_request(idx)?,
+            TenantState::Resumable { at, t_fault } => {
+                self.imu.resume();
+                let start = self.now.max(self.cpu_free_at).max(at);
+                let t = &mut self.tenants[idx];
+                t.stats.stall += start.saturating_sub(t_fault);
+                start
+            }
+            _ => unreachable!("picked tenant is runnable"),
+        };
+        self.run_segment(idx, segment_start)
+    }
+
+    /// Withdraws hardware service from tenant `idx` after unrecoverable
+    /// faults: tears down its fabric state (rescuing co-tenants' chained
+    /// transfers), completes its interrupted request with the registered
+    /// software fallback, and marks it degraded so the rest of its queue
+    /// is served in software too. `cause` is the error that condemned
+    /// the tenant (None when its demand transfer was silently lost).
+    ///
+    /// # Errors
+    ///
+    /// Returns `cause` (or [`Error::Timeout`]) when no fallback is
+    /// registered for the tenant, [`Error::FallbackFailed`] when the
+    /// fallback rejects the request.
+    fn abort_degrade(&mut self, idx: usize, cause: Option<Error>) -> Result<(), Error> {
+        let asid = self.tenants[idx].asid;
+        if !self.fallbacks.contains_key(&asid.0) {
+            return Err(cause.unwrap_or(Error::Timeout {
+                budget: self.edge_budget,
+            }));
+        }
+        let now = self.now.max(self.cpu_free_at);
+        let ready = self
+            .vim
+            .abort_tenant(asid, &mut self.imu, &mut self.dpram, now);
+        route_demand_ready(&mut self.tenants, &mut self.vim, ready);
+        self.tenants[idx].degraded = true;
+        self.tenants[idx].stats.aborts += 1;
+        // Complete the interrupted request in software over the very
+        // objects it had mapped; partial hardware output is overwritten.
+        if let Some(active) = self.tenants[idx].active.take() {
+            let prev_asid = self.vim.asid();
+            self.vim.set_asid(asid);
+            let fb = self.fallbacks.get(&asid.0).expect("checked above");
+            let mut io = VimIo { vim: &mut self.vim };
+            let result = fb.run(&mut io, &active.params);
+            let cpu = match result {
+                Ok(cpu) => cpu,
+                Err(reason) => {
+                    self.vim.set_asid(prev_asid);
+                    return Err(Error::FallbackFailed { reason });
+                }
+            };
+            let start = self.cpu_free_at.max(self.now);
+            let finish = start + cpu;
+            self.cpu_free_at = finish;
+            let mut outputs = Vec::new();
+            for (id, dir) in active.manifest {
+                if let Some(obj) = self.vim.take_object(id) {
+                    if dir != Direction::In {
+                        outputs.push((id, obj.into_data()));
+                    }
+                }
+            }
+            self.vim.set_asid(prev_asid);
+            let t = &mut self.tenants[idx];
+            t.stats.completed += 1;
+            t.stats.fallbacks += 1;
+            t.stats
+                .latency
+                .record(finish.saturating_sub(active.started));
+            t.completed.push(CompletedRequest {
+                started: active.started,
+                finished: finish,
+                outputs,
+            });
+        }
+        let t = &mut self.tenants[idx];
+        t.state = if t.queue.is_empty() {
+            TenantState::Idle
+        } else {
+            TenantState::Ready
+        };
+        Ok(())
+    }
+
+    /// Serves every queued request of degraded tenant `idx` with its
+    /// software fallback, directly over the request buffers (no
+    /// mapping, no fabric).
+    fn serve_queue_in_software(&mut self, idx: usize) -> Result<(), Error> {
+        while let Some(mut req) = self.tenants[idx].queue.pop_front() {
+            let asid = self.tenants[idx].asid;
+            let fb = self
+                .fallbacks
+                .get(&asid.0)
+                .expect("degraded tenant has a fallback");
+            let start = self.cpu_free_at.max(self.now);
+            let mut io = RequestIo {
+                objects: &mut req.objects,
+            };
+            let cpu = fb
+                .run(&mut io, &req.params)
+                .map_err(|reason| Error::FallbackFailed { reason })?;
+            let finish = start + cpu;
+            self.cpu_free_at = finish;
+            let outputs = req
+                .objects
+                .into_iter()
+                .filter(|o| o.direction != Direction::In)
+                .map(|o| (o.id, o.data))
+                .collect();
+            let t = &mut self.tenants[idx];
+            t.stats.completed += 1;
+            t.stats.fallbacks += 1;
+            t.stats.latency.record(finish.saturating_sub(start));
+            t.completed.push(CompletedRequest {
+                started: start,
+                finished: finish,
+                outputs,
+            });
+        }
+        self.tenants[idx].state = TenantState::Idle;
+        Ok(())
     }
 
     /// Loads tenant `idx`'s execution context into the IMU datapath,
@@ -792,6 +1057,7 @@ impl MultiSystem {
         }
         t.active = Some(ActiveRequest {
             manifest,
+            params: req.params,
             started: setup_begin,
         });
         self.cpu_free_at = setup_begin + cpu;
@@ -956,6 +1222,28 @@ impl MultiSystem {
                 t.stats.cp_cycles += 1;
             }
         }
+    }
+}
+
+/// [`FallbackIo`] view over a queued request's raw object buffers — the
+/// degraded-service path computes in place, no mapping involved.
+struct RequestIo<'a> {
+    objects: &'a mut [RequestObject],
+}
+
+impl FallbackIo for RequestIo<'_> {
+    fn object(&self, id: ObjectId) -> Option<&[u8]> {
+        self.objects
+            .iter()
+            .find(|o| o.id == id)
+            .map(|o| o.data.as_slice())
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> Option<&mut [u8]> {
+        self.objects
+            .iter_mut()
+            .find(|o| o.id == id)
+            .map(|o| o.data.as_mut_slice())
     }
 }
 

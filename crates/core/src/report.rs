@@ -62,6 +62,23 @@ pub struct ExecutionReport {
     pub fault_latency: LatencyHistogram,
     /// Raw VIM + IMU counters for anything not broken out above.
     pub counters: Counters,
+    /// Hardware execution attempts (1 = clean first run; 0 when the
+    /// recovery layer is disabled and the counter is not kept).
+    pub execute_attempts: u64,
+    /// Faults the injector fired during the successful attempt and all
+    /// failed ones.
+    pub injected_faults: u64,
+    /// Page transfers redone after an injected corruption.
+    pub transfer_retries: u64,
+    /// Times the watchdog reset the fabric before this result.
+    pub watchdog_resets: u64,
+    /// Wall time consumed by failed hardware attempts, fabric resets
+    /// and retry backoff (already included in `wall`).
+    pub recovery_time: SimTime,
+    /// The result was computed by the registered software fallback
+    /// after hardware recovery was exhausted. The bytes delivered to
+    /// the application are still correct.
+    pub fallback_taken: bool,
 }
 
 impl ExecutionReport {
@@ -140,6 +157,23 @@ impl fmt::Display for ExecutionReport {
             self.cp_cycles,
             self.imu_edges
         )?;
+        if self.injected_faults > 0 || self.watchdog_resets > 0 || self.fallback_taken {
+            writeln!(
+                f,
+                "recovery: {} attempt(s), {} injected fault(s), {} retry(ies), \
+                 {} watchdog reset(s), {} lost to recovery{}",
+                self.execute_attempts,
+                self.injected_faults,
+                self.transfer_retries,
+                self.watchdog_resets,
+                self.recovery_time,
+                if self.fallback_taken {
+                    " — served by software fallback"
+                } else {
+                    ""
+                }
+            )?;
+        }
         write!(f, "fault stall {}", self.fault_latency)
     }
 }

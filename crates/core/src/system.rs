@@ -11,6 +11,15 @@
 //! division of it); on a translation fault the coprocessor domain stalls
 //! while the VIM services the interrupt on the ARM, and the stall
 //! interval is charged to the paper's `SW (DP)` / `SW (IMU)` buckets.
+//!
+//! With [`SystemBuilder::faults`] the platform additionally injects
+//! deterministic hardware faults (corrupted or lost DMA transfers, bus
+//! stalls, dropped or delayed interrupts, TLB parity upsets, failed
+//! configuration passes), and a [`RecoveryPolicy`] governs how
+//! `FPGA_EXECUTE` recovers: bounded retries with fabric resets and
+//! backoff, a no-progress watchdog, and finally a transparent
+//! [`SoftwareFallback`] that serves the request
+//! in software so the application still receives correct bytes.
 
 use vcop_fabric::loader::ConfigController;
 use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, PortLink};
@@ -19,6 +28,7 @@ use vcop_imu::imu::{ElemSize, Imu, ImuConfig, ImuEvent};
 use vcop_imu::registers::ControlRegister;
 use vcop_sim::bus::BurstKind;
 use vcop_sim::clock::{ClockDomain, EdgeScheduler};
+use vcop_sim::fault::{FaultInjector, FaultPlan, FaultSite};
 use vcop_sim::histogram::LatencyHistogram;
 use vcop_sim::irq::{InterruptController, IrqLine};
 use vcop_sim::mem::DualPortRam;
@@ -31,9 +41,10 @@ use vcop_vim::object::{Direction, MapHints};
 use vcop_vim::policy::PolicyKind;
 use vcop_vim::prefetch::PrefetchMode;
 use vcop_vim::process::{MiniScheduler, Pid};
-use vcop_vim::TransferMode;
+use vcop_vim::{TransferMode, VimError};
 
 use crate::error::Error;
+use crate::fallback::{FallbackIo, RecoveryPolicy, SoftwareFallback};
 use crate::report::ExecutionReport;
 
 /// Default per-execute edge budget (hang detection).
@@ -87,6 +98,8 @@ pub struct SystemBuilder {
     trace: bool,
     edge_budget: u64,
     kernel: Kernel,
+    faults: Option<FaultPlan>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl SystemBuilder {
@@ -110,6 +123,8 @@ impl SystemBuilder {
             trace: false,
             edge_budget: DEFAULT_EDGE_BUDGET,
             kernel: Kernel::default(),
+            faults: None,
+            recovery: None,
         }
     }
 
@@ -236,6 +251,26 @@ impl SystemBuilder {
         self
     }
 
+    /// Arms deterministic fault injection with `plan` and, unless
+    /// [`SystemBuilder::recovery`] overrides it, the default
+    /// [`RecoveryPolicy`]. A plan whose rates are all zero and that
+    /// schedules no one-shot faults leaves every run byte-identical to
+    /// an uninstrumented system (only the report's recovery bookkeeping
+    /// differs).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the recovery policy (retries, watchdog, backoff) used by
+    /// `FPGA_EXECUTE`. Implied with default settings by
+    /// [`SystemBuilder::faults`]; set it explicitly to tune the knobs or
+    /// to arm the watchdog without injecting faults.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Assembles the system.
     pub fn build(self) -> System {
         let frames = self.device.page_count();
@@ -283,6 +318,14 @@ impl SystemBuilder {
         let caller = sched.spawn("fpga-app");
         sched.spawn("background");
 
+        let recovery = self
+            .recovery
+            .or_else(|| self.faults.as_ref().map(|_| RecoveryPolicy::default()));
+        let mut vim = Vim::new(vim_config, cost);
+        if let Some(plan) = self.faults {
+            vim.set_fault_injector(FaultInjector::new(plan));
+        }
+
         System {
             cp_freq: self.cp_freq,
             imu_freq: self.imu_freq,
@@ -290,7 +333,7 @@ impl SystemBuilder {
                 .expect("device geometry is valid"),
             imu,
             port: CoprocessorPort::new(self.pipeline_depth),
-            vim: Vim::new(vim_config, cost),
+            vim,
             config_ctl: ConfigController::new(self.device),
             coprocessor: None,
             irq,
@@ -302,6 +345,9 @@ impl SystemBuilder {
             load_time: SimTime::ZERO,
             sched,
             caller,
+            recovery,
+            fallback: None,
+            config_time: SimTime::ZERO,
         }
     }
 }
@@ -326,6 +372,9 @@ pub struct System {
     load_time: SimTime,
     sched: MiniScheduler,
     caller: Pid,
+    recovery: Option<RecoveryPolicy>,
+    fallback: Option<Box<dyn SoftwareFallback>>,
+    config_time: SimTime,
 }
 
 impl System {
@@ -382,23 +431,63 @@ impl System {
         self.sched.total_sleep(self.caller)
     }
 
+    /// The fault injector (opportunity and fired counts per site).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        self.vim.fault_injector()
+    }
+
+    /// Replaces the fault plan between runs (e.g. to schedule a
+    /// one-shot fault for the next execution) without rebuilding the
+    /// system. Does not change the recovery policy.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.vim.set_fault_injector(FaultInjector::new(plan));
+    }
+
+    /// The active recovery policy, if armed.
+    pub fn recovery_policy(&self) -> Option<RecoveryPolicy> {
+        self.recovery
+    }
+
+    /// Arms (`Some`) or disarms (`None`) recovery between runs.
+    pub fn set_recovery(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+    }
+
+    /// Registers the software implementation `FPGA_EXECUTE` falls back
+    /// to when hardware recovery is exhausted. The fallback computes
+    /// over the same mapped objects, so `take_object` returns the same
+    /// bytes either way.
+    pub fn set_software_fallback(&mut self, fallback: Box<dyn SoftwareFallback>) {
+        self.fallback = Some(fallback);
+    }
+
     /// `FPGA_LOAD`: validates and programs `bitstream_bytes`, attaching
     /// `core` as the synthesised coprocessor. Returns the configuration
-    /// time.
+    /// time. When fault injection is armed, each programming pass rolls
+    /// [`FaultSite::BitstreamLoad`] and a failed pass is retried (and
+    /// charged) up to the recovery policy's load-attempt budget.
     ///
     /// # Errors
     ///
     /// Propagates [`vcop_fabric::loader::LoadError`] (bad container,
-    /// wrong device, resources, or an owner already present).
+    /// wrong device, resources, an owner already present, or a
+    /// persistent injected configuration fault).
     pub fn fpga_load(
         &mut self,
         bitstream_bytes: &[u8],
         core: Box<dyn Coprocessor>,
     ) -> Result<SimTime, Error> {
-        let loaded = self.config_ctl.load(bitstream_bytes)?;
+        let (loaded, attempts) = if self.vim.fault_injector().is_enabled() {
+            let max = self.recovery.unwrap_or_default().max_load_attempts;
+            self.config_ctl
+                .load_with_faults(bitstream_bytes, self.vim.fault_injector_mut(), max)?
+        } else {
+            (self.config_ctl.load(bitstream_bytes)?, 1)
+        };
         self.coprocessor = Some(core);
-        self.load_time = loaded.load_time;
-        Ok(loaded.load_time)
+        self.config_time = loaded.load_time;
+        self.load_time = SimTime::from_ps(loaded.load_time.as_ps() * attempts as u64);
+        Ok(self.load_time)
     }
 
     /// Releases the fabric (ends exclusive use).
@@ -461,13 +550,184 @@ impl System {
     /// coprocessor, services faults until end of operation, writes dirty
     /// data back, and returns the full time decomposition.
     ///
+    /// With a [`RecoveryPolicy`] armed (implied by
+    /// [`SystemBuilder::faults`]) the service additionally recovers from
+    /// hardware faults: a failed attempt — a lost page transfer, a
+    /// parity upset on dirty data, or the no-progress watchdog firing —
+    /// resets and reprograms the fabric, charges backoff, and retries
+    /// up to the attempt budget. If hardware never succeeds and a
+    /// [`SoftwareFallback`] is registered, the
+    /// request is served in software over the same mapped objects and
+    /// the report's `fallback_taken` flag is set; the bytes returned by
+    /// [`System::take_object`] are correct either way.
+    ///
     /// # Errors
     ///
     /// * [`Error::NoCoprocessor`] if nothing was loaded;
     /// * [`Error::Vim`] for coprocessor protocol violations (unmapped
     ///   object, out-of-bounds access, parameter page misuse);
-    /// * [`Error::Timeout`] if the edge budget is exhausted.
+    /// * [`Error::Timeout`] if the edge budget is exhausted;
+    /// * [`Error::Watchdog`] / [`Error::Vim`] transfer faults only when
+    ///   recovery is exhausted and no fallback is registered;
+    /// * [`Error::FallbackFailed`] if the registered fallback rejected
+    ///   the request.
     pub fn fpga_execute(&mut self, params: &[u32]) -> Result<ExecutionReport, Error> {
+        let Some(policy) = self.recovery else {
+            let mut elapsed = SimTime::ZERO;
+            return self.execute_attempt(params, None, &mut elapsed);
+        };
+
+        let fired0 = self.vim.fault_injector().total_fired();
+        let retries0 = self.vim.counters().get("transfer_retry");
+        let mut recovery_time = SimTime::ZERO;
+        let mut resets = 0u64;
+        let mut last_err: Option<Error> = None;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0u64;
+        for attempt in 1..=max_attempts {
+            attempts = u64::from(attempt);
+            let mut elapsed = SimTime::ZERO;
+            match self.execute_attempt(params, policy.watchdog_edges, &mut elapsed) {
+                Ok(mut report) => {
+                    report.execute_attempts = attempts;
+                    report.injected_faults = self.vim.fault_injector().total_fired() - fired0;
+                    report.transfer_retries = self.vim.counters().get("transfer_retry") - retries0;
+                    report.watchdog_resets = resets;
+                    report.recovery_time = recovery_time;
+                    report.wall += recovery_time;
+                    return Ok(report);
+                }
+                Err(e) if Self::recoverable(&e) => {
+                    recovery_time += elapsed;
+                    last_err = Some(e);
+                    if attempt == max_attempts {
+                        break;
+                    }
+                    // Reset the fabric before the next attempt: the
+                    // bitstream is reprogrammed (each pass can itself
+                    // fault) and linear backoff is charged.
+                    match self.reprogram_fabric(policy.max_load_attempts) {
+                        Some(t_cfg) => {
+                            resets += 1;
+                            recovery_time += t_cfg
+                                + SimTime::from_ps(policy.backoff.as_ps() * u64::from(attempt));
+                        }
+                        // The fabric no longer accepts its bitstream:
+                        // hardware is gone for good, go straight to
+                        // the fallback.
+                        None => break,
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.run_fallback(
+            params,
+            attempts,
+            resets,
+            recovery_time,
+            fired0,
+            retries0,
+            last_err,
+        )
+    }
+
+    /// An error `FPGA_EXECUTE` may recover from by resetting and
+    /// retrying (or falling back), as opposed to a protocol violation.
+    fn recoverable(e: &Error) -> bool {
+        matches!(
+            e,
+            Error::Timeout { .. }
+                | Error::Watchdog { .. }
+                | Error::Vim(VimError::TransferFault { .. } | VimError::ParityLoss { .. })
+        )
+    }
+
+    /// Reprograms the fabric after a failed attempt, rolling
+    /// [`FaultSite::BitstreamLoad`] per pass. Returns the configuration
+    /// time charged, or `None` when every pass failed (fabric dead).
+    fn reprogram_fabric(&mut self, max_attempts: u32) -> Option<SimTime> {
+        let mut t = SimTime::ZERO;
+        for _ in 0..max_attempts.max(1) {
+            t += self.config_time;
+            if !self.vim.fault_injector_mut().roll(FaultSite::BitstreamLoad) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Rolls a TLB parity upset against the current address space and,
+    /// if one fires and a valid victim entry exists, injects it into
+    /// the IMU. Returns whether a fault was injected.
+    fn maybe_parity_upset(&mut self) -> bool {
+        let asid = self.vim.asid();
+        if !self
+            .vim
+            .fault_injector_mut()
+            .roll_tagged(FaultSite::TlbParity, asid.0)
+        {
+            return false;
+        }
+        let candidates: Vec<usize> = (0..self.imu.tlb().len())
+            .filter(|&i| {
+                let e = self.imu.tlb().entry(i);
+                e.valid && e.asid == asid
+            })
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let victim = candidates[self.vim.fault_injector_mut().pick(candidates.len())];
+        self.imu.inject_parity_fault(victim)
+    }
+
+    /// Serves the request with the registered software fallback after
+    /// hardware recovery is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn run_fallback(
+        &mut self,
+        params: &[u32],
+        attempts: u64,
+        resets: u64,
+        recovery_time: SimTime,
+        fired0: u64,
+        retries0: u64,
+        last_err: Option<Error>,
+    ) -> Result<ExecutionReport, Error> {
+        let Some(fallback) = self.fallback.take() else {
+            return Err(last_err.unwrap_or(Error::FallbackFailed {
+                reason: "no software fallback registered".into(),
+            }));
+        };
+        let mut io = VimIo { vim: &mut self.vim };
+        let result = fallback.run(&mut io, params);
+        self.fallback = Some(fallback);
+        let cpu = result.map_err(|reason| Error::FallbackFailed { reason })?;
+        Ok(ExecutionReport {
+            wall: recovery_time + cpu,
+            execute_attempts: attempts,
+            injected_faults: self.vim.fault_injector().total_fired() - fired0,
+            transfer_retries: self.vim.counters().get("transfer_retry") - retries0,
+            watchdog_resets: resets,
+            recovery_time,
+            fallback_taken: true,
+            counters: self.vim.counters().clone(),
+            ..Default::default()
+        })
+    }
+
+    /// One hardware attempt of `FPGA_EXECUTE` — the fault-oblivious
+    /// execution path, plus (when `watchdog` is armed) a no-progress
+    /// monitor. `elapsed` receives the simulated time the attempt
+    /// consumed regardless of outcome, so the recovery layer can charge
+    /// failed attempts to the report's recovery time.
+    fn execute_attempt(
+        &mut self,
+        params: &[u32],
+        watchdog: Option<u64>,
+        elapsed: &mut SimTime,
+    ) -> Result<ExecutionReport, Error> {
         if self.coprocessor.is_none() {
             return Err(Error::NoCoprocessor);
         }
@@ -531,8 +791,37 @@ impl System {
         // demand transfer the coprocessor is currently stalled on.
         let mut demand_start: Option<(SimTime, SimTime)> = None;
         let mut fault_latency = LatencyHistogram::new();
+        // Watchdog bookkeeping: the edge count at the last observable
+        // progress (a translation, a fault, a page movement).
+        let mut progress_marker = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut progress_edges = 0u64;
 
         while edges < self.edge_budget {
+            if let Some(limit) = watchdog {
+                let marker = (
+                    self.imu.tlb().hits(),
+                    self.imu.tlb().misses(),
+                    self.vim.counters().get("fault"),
+                    self.vim.counters().get("page_load"),
+                    self.vim.counters().get("page_writeback"),
+                );
+                if marker != progress_marker {
+                    progress_marker = marker;
+                    progress_edges = edges;
+                }
+                // A demand transfer lost to an injected DMA timeout can
+                // never complete; fail fast instead of sitting out the
+                // whole no-progress window.
+                let demand_dead = demand_start.is_some() && self.vim.demand_lost();
+                if demand_dead || edges.saturating_sub(progress_edges) > limit {
+                    let now = sched.clock(imu_clk).next_edge();
+                    self.sched.wake(self.caller, now);
+                    *elapsed = setup + now;
+                    return Err(Error::Watchdog {
+                        stalled_edges: edges.saturating_sub(progress_edges),
+                    });
+                }
+            }
             // Lean transaction engine: in the common synchronous steady
             // state (no DMA engine, non-pipelined IMU) the whole
             // accept→translate→complete span of a hitting access is
@@ -717,16 +1006,69 @@ impl System {
                     .step(t, &mut link, &mut self.dpram, &mut self.trace);
                 match event {
                     Some(ImuEvent::Fault) => {
+                        let asid_tag = self.vim.asid().0;
+                        // An injected IRQ drop loses the fault interrupt
+                        // entirely: nothing services the fault, the
+                        // coprocessor stays stalled, and only the
+                        // recovery watchdog gets the system back.
+                        if self
+                            .vim
+                            .fault_injector_mut()
+                            .roll_tagged(FaultSite::IrqDrop, asid_tag)
+                        {
+                            continue;
+                        }
+                        // A delayed IRQ postpones handler entry by a
+                        // fixed number of IMU edges; the coprocessor
+                        // stall grows by the same interval.
+                        let irq_delay = if self
+                            .vim
+                            .fault_injector_mut()
+                            .roll_tagged(FaultSite::IrqDelay, asid_tag)
+                        {
+                            let period = sched.clock(imu_clk).period();
+                            SimTime::from_ps(
+                                period.as_ps() * self.vim.fault_injector().irq_delay_edges(),
+                            )
+                        } else {
+                            SimTime::ZERO
+                        };
                         self.irq.raise(self.pld_irq);
-                        let svc = self.vim.service_fault(&mut self.imu, &mut self.dpram)?;
+                        let svc = match self.vim.service_fault(&mut self.imu, &mut self.dpram) {
+                            Ok(svc) => svc,
+                            Err(e) => {
+                                self.irq.acknowledge(self.pld_irq);
+                                self.sched.wake(self.caller, t);
+                                *elapsed = setup + t;
+                                return Err(e.into());
+                            }
+                        };
                         self.irq.acknowledge(self.pld_irq);
                         if svc.pending {
                             // Overlapped paging: the demand movement is
                             // on the DMA engine; the coprocessor stays
                             // stalled until its completion interrupt.
-                            demand_start = Some((t, svc.times.total()));
+                            demand_start = Some((t, svc.times.total() + irq_delay));
                         } else {
-                            let resume_at = t + svc.times.total();
+                            let mut svc_total = svc.times.total() + irq_delay;
+                            // A parity upset can strike a valid TLB
+                            // entry while the handler has the IMU open;
+                            // service it on the spot (a clean page is
+                            // reloaded, a dirty one is unrecoverable).
+                            if self.maybe_parity_upset() {
+                                self.irq.raise(self.pld_irq);
+                                match self.vim.service_fault(&mut self.imu, &mut self.dpram) {
+                                    Ok(p) => svc_total += p.times.total(),
+                                    Err(e) => {
+                                        self.irq.acknowledge(self.pld_irq);
+                                        self.sched.wake(self.caller, t);
+                                        *elapsed = setup + t;
+                                        return Err(e.into());
+                                    }
+                                }
+                                self.irq.acknowledge(self.pld_irq);
+                            }
+                            let resume_at = t + svc_total;
                             let stall = resume_at.saturating_sub(t);
                             fault_latency.record(stall);
                             fault_stall += stall;
@@ -749,13 +1091,22 @@ impl System {
 
         let Some(t_done) = t_done else {
             // Even a hung coprocessor must not leave the caller asleep.
-            self.sched
-                .wake(self.caller, sched.clock(imu_clk).next_edge());
+            let now = sched.clock(imu_clk).next_edge();
+            self.sched.wake(self.caller, now);
+            *elapsed = setup + now;
             return Err(Error::Timeout {
                 budget: self.edge_budget,
             });
         };
-        let done_svc = self.vim.service_done(&mut self.imu, &mut self.dpram)?;
+        let done_svc = match self.vim.service_done(&mut self.imu, &mut self.dpram) {
+            Ok(svc) => svc,
+            Err(e) => {
+                self.irq.acknowledge(self.pld_irq);
+                self.sched.wake(self.caller, t_done);
+                *elapsed = setup + t_done;
+                return Err(e.into());
+            }
+        };
         self.irq.acknowledge(self.pld_irq);
         self.sched.wake(self.caller, t_done + done_svc.total());
 
@@ -778,8 +1129,27 @@ impl System {
             imu_edges: self.imu.edges() - imu_edges0,
             fault_latency,
             counters: self.vim.counters().clone(),
+            ..Default::default()
         };
+        *elapsed = report.wall;
         Ok(report)
+    }
+}
+
+/// [`FallbackIo`] view over the VIM's mapped objects: the software
+/// fallback reads and writes the very buffers the application mapped
+/// (scoped to the VIM's current address space).
+pub(crate) struct VimIo<'a> {
+    pub(crate) vim: &'a mut Vim,
+}
+
+impl FallbackIo for VimIo<'_> {
+    fn object(&self, id: ObjectId) -> Option<&[u8]> {
+        self.vim.object(id).map(|o| o.data())
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> Option<&mut [u8]> {
+        self.vim.object_data_mut(id)
     }
 }
 

@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use vcop::{
-    Direction, ElemSize, MapHints, MultiSystem, MultiSystemBuilder, Request, RequestObject,
-    SchedulerKind,
+    Direction, ElemSize, FallbackFn, FaultPlan, FaultSite, MapHints, MultiSystem,
+    MultiSystemBuilder, Request, RequestObject, SchedulerKind,
 };
 use vcop_apps::adpcm::codec as adpcm_codec;
 use vcop_apps::adpcm::hw as adpcm_hw;
@@ -135,10 +135,21 @@ fn idea_request(input_bytes: usize, salt: usize) -> (Request, Vec<u8>) {
 }
 
 fn mixed_system(scheduler: SchedulerKind, partition: bool) -> (MultiSystem, Asid, Asid) {
-    let mut sys = MultiSystemBuilder::epxa4()
+    mixed_system_with(scheduler, partition, None)
+}
+
+fn mixed_system_with(
+    scheduler: SchedulerKind,
+    partition: bool,
+    faults: Option<FaultPlan>,
+) -> (MultiSystem, Asid, Asid) {
+    let mut builder = MultiSystemBuilder::epxa4()
         .scheduler(scheduler)
-        .partition(partition)
-        .build();
+        .partition(partition);
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    let mut sys = builder.build();
     let adpcm = sys
         .add_tenant(
             "adpcm",
@@ -357,5 +368,164 @@ proptest! {
             let (_, exp) = idea_request(*size, k);
             prop_assert_eq!(out, &exp, "idea request {} diverged", k);
         }
+    }
+}
+
+/// The software twin of the adpcm core as a registrable fallback.
+fn adpcm_fallback() -> FallbackFn {
+    FallbackFn::new("adpcm-sw", |io, params| {
+        let n = params[0] as usize;
+        let input = io.object(adpcm_hw::OBJ_INPUT).ok_or("input not mapped")?[..n].to_vec();
+        let (samples, cpu) = timing::adpcm_sw(&input);
+        let out = io
+            .object_mut(adpcm_hw::OBJ_OUTPUT)
+            .ok_or("output not mapped")?;
+        for (chunk, s) in out.chunks_exact_mut(2).zip(&samples) {
+            chunk.copy_from_slice(&(*s as u16).to_le_bytes());
+        }
+        Ok(cpu)
+    })
+}
+
+#[test]
+fn corrupted_transfers_during_cross_asid_steals_retry_clean() {
+    // Six small tenants squeezed into 16 shared frames steal pages
+    // from each other constantly; a twentieth of all transfers arrives
+    // corrupt. The bounded retry path must absorb every corruption in
+    // the middle of the frame-stealing traffic without degrading
+    // anyone.
+    let plan = FaultPlan::new(17).rate(FaultSite::DmaCorrupt, 0.05);
+    let mut sys = MultiSystemBuilder::epxa4()
+        .scheduler(SchedulerKind::RoundRobin)
+        .frame_limit(16)
+        .faults(plan)
+        .build();
+    let mut tenants = Vec::new();
+    for pair in 0..3u16 {
+        let adpcm = sys
+            .add_tenant(
+                ["adpcm0", "adpcm1", "adpcm2"][pair as usize],
+                1,
+                Frequency::from_mhz(40),
+                Frequency::from_mhz(40),
+                &Bitstream::builder("adpcmdecode")
+                    .device(DeviceKind::Epxa4)
+                    .resources(Resources::new(100, 614))
+                    .core_clock(timing::ADPCM_CORE_FREQ)
+                    .synthetic_payload(8 * 1024)
+                    .build()
+                    .to_bytes(),
+                Box::new(adpcm_hw::AdpcmCoprocessor::new()),
+            )
+            .expect("admit adpcm tenant");
+        let idea = sys
+            .add_tenant(
+                ["idea0", "idea1", "idea2"][pair as usize],
+                1,
+                Frequency::from_mhz(6),
+                Frequency::from_mhz(24),
+                &Bitstream::builder("idea")
+                    .device(DeviceKind::Epxa4)
+                    .resources(Resources::new(360, 2_457))
+                    .core_clock(timing::IDEA_CORE_FREQ)
+                    .synthetic_payload(8 * 1024)
+                    .build()
+                    .to_bytes(),
+                Box::new(idea_hw::IdeaCoprocessor::new()),
+            )
+            .expect("admit idea tenant");
+        tenants.push((adpcm, idea));
+    }
+    let mut expect = Vec::new();
+    for salt in 0..2 {
+        for (k, &(adpcm, idea)) in tenants.iter().enumerate() {
+            let (areq, aexp) = adpcm_request(2048, salt * 3 + k);
+            let (ireq, iexp) = idea_request(2048, salt * 3 + k);
+            sys.submit(adpcm, areq);
+            sys.submit(idea, ireq);
+            expect.push((adpcm, aexp));
+            expect.push((idea, iexp));
+        }
+    }
+    let report = sys.run().expect("corrupted run completes");
+
+    assert!(
+        report.cross_asid_steals > 0,
+        "16 shared frames across 6 tenants must force steals"
+    );
+    assert!(
+        sys.fault_injector().fired(FaultSite::DmaCorrupt) > 0,
+        "corruptions actually fired"
+    );
+    assert_eq!(report.fallbacks, 0, "retries absorbed every corruption");
+    let mut outputs: std::collections::BTreeMap<u16, Vec<Vec<u8>>> =
+        std::collections::BTreeMap::new();
+    for &(adpcm, idea) in &tenants {
+        assert!(!sys.is_degraded(adpcm));
+        assert!(!sys.is_degraded(idea));
+        outputs.insert(adpcm.0, output_bytes(&mut sys, adpcm));
+        outputs.insert(idea.0, output_bytes(&mut sys, idea));
+    }
+    for (asid, exp) in expect {
+        let outs = outputs.get_mut(&asid.0).expect("tenant produced output");
+        assert_eq!(outs.remove(0), exp, "tenant {} diverged", asid.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Fault isolation: every transfer of the adpcm tenant is corrupted
+    /// until hardware service is withdrawn, yet (a) the co-tenant's
+    /// outputs are byte-identical to a solo run on a healthy system,
+    /// and (b) the faulting tenant still receives correct bytes from
+    /// its software fallback, with the degradation fully recorded.
+    #[test]
+    fn faulting_tenant_cannot_corrupt_co_tenant(
+        seed in any::<u64>(),
+        sizes_a in proptest::collection::vec(
+            (1usize..3).prop_map(|kb| kb * 1024), 1..3),
+        sizes_i in proptest::collection::vec(
+            (1usize..3).prop_map(|kb| kb * 1024), 1..3),
+    ) {
+        let plan = FaultPlan::new(seed)
+            .rate(FaultSite::DmaCorrupt, 1.0)
+            .target(1); // the first admitted tenant: adpcm
+        let (mut sys, adpcm, idea) =
+            mixed_system_with(SchedulerKind::RoundRobin, false, Some(plan));
+        prop_assert_eq!(adpcm, Asid(1), "plan targets the adpcm tenant");
+        sys.set_software_fallback(adpcm, Box::new(adpcm_fallback()));
+
+        let mut expect_a = Vec::new();
+        let mut expect_i = Vec::new();
+        for (k, &size) in sizes_a.iter().enumerate() {
+            let (req, exp) = adpcm_request(size, k);
+            sys.submit(adpcm, req);
+            expect_a.push(exp);
+        }
+        for (k, &size) in sizes_i.iter().enumerate() {
+            let (req, exp) = idea_request(size, k);
+            sys.submit(idea, req);
+            expect_i.push(exp);
+        }
+        let report = sys.run().expect("degraded run completes");
+
+        let out_a = output_bytes(&mut sys, adpcm);
+        let out_i = output_bytes(&mut sys, idea);
+        // The co-tenant is untouched: byte-identical to its solo run.
+        let (_, solo_i) = run_interleaved(&[], &sizes_i, &[], SchedulerKind::RoundRobin);
+        prop_assert_eq!(&out_i, &solo_i, "co-tenant diverged from solo run");
+        prop_assert_eq!(&out_i, &expect_i);
+        // The faulting tenant was degraded, not wedged: all requests
+        // completed correctly in software.
+        prop_assert_eq!(&out_a, &expect_a);
+        prop_assert!(sys.is_degraded(adpcm));
+        prop_assert!(!sys.is_degraded(idea));
+        let ta = report.tenants.iter().find(|t| t.name == "adpcm").unwrap();
+        prop_assert!(ta.stats.aborts >= 1, "hardware service was withdrawn");
+        prop_assert_eq!(ta.stats.fallbacks, sizes_a.len() as u64);
+        prop_assert_eq!(report.fallbacks, sizes_a.len() as u64);
+        let ti = report.tenants.iter().find(|t| t.name == "idea").unwrap();
+        prop_assert_eq!(ti.stats.fallbacks, 0);
     }
 }

@@ -37,6 +37,12 @@ pub enum LoadError {
         /// Name of the currently loaded core.
         owner: String,
     },
+    /// Every configuration pass failed its CRC check (only reachable
+    /// with fault injection; see [`ConfigController::load_with_faults`]).
+    ConfigurationFault {
+        /// How many passes were attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -54,6 +60,12 @@ impl fmt::Display for LoadError {
             }
             LoadError::Busy { owner } => {
                 write!(f, "fabric already configured with '{owner}'")
+            }
+            LoadError::ConfigurationFault { attempts } => {
+                write!(
+                    f,
+                    "configuration stream fault persisted across {attempts} attempt(s)"
+                )
             }
         }
     }
@@ -166,6 +178,35 @@ impl ConfigController {
         Ok(LoadedCore { name, load_time })
     }
 
+    /// Like [`ConfigController::load`], but each configuration pass
+    /// rolls [`FaultSite::BitstreamLoad`](vcop_sim::fault::FaultSite)
+    /// on `faults`: a fired roll models a CRC error in the
+    /// configuration stream, wasting one full programming pass before
+    /// the controller restarts it. On success the returned attempt
+    /// count (≥ 1) tells the caller how many passes to charge for.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::ConfigurationFault`] when all `max_attempts` passes
+    /// fault, plus everything [`ConfigController::load`] can return.
+    pub fn load_with_faults(
+        &mut self,
+        bytes: &[u8],
+        faults: &mut vcop_sim::fault::FaultInjector,
+        max_attempts: u32,
+    ) -> Result<(LoadedCore, u32), LoadError> {
+        let max_attempts = max_attempts.max(1);
+        for attempt in 1..=max_attempts {
+            if faults.roll(vcop_sim::fault::FaultSite::BitstreamLoad) {
+                continue;
+            }
+            return self.load(bytes).map(|core| (core, attempt));
+        }
+        Err(LoadError::ConfigurationFault {
+            attempts: max_attempts,
+        })
+    }
+
     /// Releases exclusive ownership, returning the fabric to the
     /// unconfigured state.
     pub fn release(&mut self) {
@@ -251,6 +292,36 @@ mod tests {
             .build();
         let big = ctl.load(&big_bs.to_bytes()).unwrap();
         assert!(big.load_time > small.load_time * 10);
+    }
+
+    #[test]
+    fn faulty_configuration_retries_then_succeeds_or_gives_up() {
+        use vcop_sim::fault::{FaultInjector, FaultPlan, FaultSite};
+
+        // First pass faults, second succeeds: two attempts charged.
+        let mut ctl = ConfigController::new(DeviceProfile::epxa1());
+        let mut inj = FaultInjector::new(FaultPlan::new(1).once(FaultSite::BitstreamLoad, 1));
+        let (core, attempts) = ctl
+            .load_with_faults(&bs("idea").to_bytes(), &mut inj, 3)
+            .unwrap();
+        assert_eq!((core.name.as_str(), attempts), ("idea", 2));
+
+        // Every pass faults: the load is abandoned and state unchanged.
+        let mut ctl = ConfigController::new(DeviceProfile::epxa1());
+        let mut inj = FaultInjector::new(FaultPlan::new(1).rate(FaultSite::BitstreamLoad, 1.0));
+        let err = ctl
+            .load_with_faults(&bs("idea").to_bytes(), &mut inj, 3)
+            .unwrap_err();
+        assert_eq!(err, LoadError::ConfigurationFault { attempts: 3 });
+        assert!(!ctl.is_configured());
+
+        // A disabled injector is invisible: one attempt, normal load.
+        let mut ctl = ConfigController::new(DeviceProfile::epxa1());
+        let mut inj = FaultInjector::disabled();
+        let (_, attempts) = ctl
+            .load_with_faults(&bs("idea").to_bytes(), &mut inj, 3)
+            .unwrap();
+        assert_eq!(attempts, 1);
     }
 
     #[test]

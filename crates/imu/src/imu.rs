@@ -148,6 +148,13 @@ pub enum FaultCause {
     },
     /// Parameter access after the parameter page was invalidated.
     ParamPageGone,
+    /// A parity upset corrupted a resident CAM entry: the stored
+    /// translation can no longer be trusted and the OS must re-validate
+    /// the frame (only raised via [`Imu::inject_parity_fault`]).
+    Parity {
+        /// Index of the corrupted CAM entry.
+        entry: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -472,6 +479,26 @@ impl Imu {
         // the next edge.
         self.needs_reresolve = true;
         self.state = State::Running;
+    }
+
+    /// Models a parity upset in the CAM: corrupts resident `entry` and
+    /// raises a fault exactly as the translation datapath would (`SR`
+    /// fault bit, typed [`FaultCause::Parity`], pipeline frozen). The
+    /// OS repairs the entry and calls [`Imu::resume`] like any other
+    /// fault. Returns `false` — no fault raised — unless the IMU is
+    /// running and `entry` holds a valid translation.
+    pub fn inject_parity_fault(&mut self, entry: usize) -> bool {
+        if self.state != State::Running || entry >= self.tlb.len() {
+            return false;
+        }
+        if !self.tlb.entry(entry).valid {
+            return false;
+        }
+        self.sr.fault = true;
+        self.fault_cause = Some(FaultCause::Parity { entry });
+        self.state = State::Faulted;
+        self.stats.fault += 1;
+        true
     }
 
     /// Conservative wake hint for the event-driven kernel: the earliest

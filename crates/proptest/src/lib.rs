@@ -315,7 +315,7 @@ pub mod collection {
     use crate::test_runner::TestRunner;
     use core::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact count or a
+    /// Element-count specification for [`vec()`]: an exact count or a
     /// half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -349,7 +349,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

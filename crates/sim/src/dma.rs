@@ -356,6 +356,42 @@ impl AsyncDmaEngine {
         None
     }
 
+    /// Silently drops one transfer: it vanishes from its channel and no
+    /// completion will ever fire for it. This is how an injected DMA
+    /// timeout is modelled — the descriptor is lost and only a watchdog
+    /// at a higher layer can notice. Returns `false` if `id` is not
+    /// queued or in flight.
+    pub fn drop_transfer(&mut self, id: TransferId) -> bool {
+        for (ch, channel) in self.channels.iter_mut().enumerate() {
+            if let Some(pos) = channel.queue.iter().position(|t| t.id == id) {
+                channel.queue.remove(pos);
+                // If the victim held the bus, release the grant so the
+                // arbiter re-scans on the next cycle.
+                if pos == 0 && self.grant == Some(ch) {
+                    self.grant = None;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stretches one transfer by `cycles` extra bus cycles of overhead
+    /// (an injected bus stall: the arbiter starves the transfer but it
+    /// still completes, late). Returns `false` if `id` is not queued or
+    /// in flight.
+    pub fn stall_transfer(&mut self, id: TransferId, cycles: u64) -> bool {
+        for channel in &mut self.channels {
+            if let Some(t) = channel.queue.iter_mut().find(|t| t.id == id) {
+                let unit = t.units.front_mut().expect("live transfer has units");
+                unit.overhead_left += cycles;
+                t.bus_cycles_total += cycles;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Aborts every queued and in-flight transfer (coprocessor teardown),
     /// returning the ids that were dropped. No completion will ever fire
     /// for them.
@@ -432,6 +468,57 @@ mod tests {
             AhbBus::new(Frequency::from_mhz(133)),
             AsyncDmaEngine::new(DmaConfig::paper_era(), channels),
         )
+    }
+
+    #[test]
+    fn async_drop_transfer_never_completes_and_frees_the_bus() {
+        let (bus, mut dma) = async_rig(2);
+        let victim = dma.submit(&bus, 2048, SlaveProfile::SDRAM, SlaveProfile::DPRAM);
+        let survivor = dma.submit(&bus, 512, SlaveProfile::SDRAM, SlaveProfile::DPRAM);
+        // Let the victim take the grant, then lose it mid-flight.
+        for _ in 0..4 {
+            assert!(dma.tick().is_none());
+        }
+        assert!(dma.drop_transfer(victim));
+        assert!(!dma.drop_transfer(victim), "already gone");
+        let mut cycles = 0u64;
+        let done = loop {
+            cycles += 1;
+            if let Some(done) = dma.tick() {
+                break done;
+            }
+            assert!(cycles < 1_000_000, "survivor never completed");
+        };
+        assert_eq!(done.id, survivor, "only the survivor retires");
+        assert!(!dma.busy());
+        assert!(dma.progress(victim).is_none());
+    }
+
+    #[test]
+    fn async_stall_transfer_adds_exactly_the_extra_cycles() {
+        let (bus, mut dma) = async_rig(1);
+        let id = dma.submit(&bus, 1024, SlaveProfile::SDRAM, SlaveProfile::DPRAM);
+        let (_, baseline) = {
+            let mut probe = dma.clone();
+            let mut cycles = 0u64;
+            loop {
+                cycles += 1;
+                if probe.tick().is_some() {
+                    break ((), cycles);
+                }
+            }
+        };
+        assert!(dma.stall_transfer(id, 300));
+        let mut cycles = 0u64;
+        let done = loop {
+            cycles += 1;
+            if let Some(done) = dma.tick() {
+                break done;
+            }
+            assert!(cycles < 1_000_000, "stalled transfer never completed");
+        };
+        assert_eq!(cycles, baseline + 300, "stall is additive");
+        assert_eq!(done.bus_cycles, baseline + 300);
     }
 
     #[test]

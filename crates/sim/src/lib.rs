@@ -11,6 +11,8 @@
 //! * [`bus`] — an AMBA-AHB transfer cost model;
 //! * [`dma`] — a descriptor-based DMA engine cost model;
 //! * [`irq`] — interrupt lines and a small controller;
+//! * [`fault`] — deterministic, seeded fault injection for reliability
+//!   experiments;
 //! * [`sched`] — wake hints and the event queue behind the event-driven
 //!   simulation kernel;
 //! * [`histogram`] — log-bucketed latency distributions for reports;
@@ -44,6 +46,7 @@ pub mod clock;
 pub mod cpu;
 pub mod dma;
 pub mod error;
+pub mod fault;
 pub mod histogram;
 pub mod irq;
 pub mod mem;

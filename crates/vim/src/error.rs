@@ -44,6 +44,23 @@ pub enum VimError {
         /// Capacity of one page in 32-bit words.
         capacity: usize,
     },
+    /// A page transfer kept failing after the bounded retry budget was
+    /// spent (only reachable with fault injection). The hardware run
+    /// cannot be trusted; the caller should reset and retry, or fall
+    /// back to software.
+    TransferFault {
+        /// Object whose page could not be moved.
+        obj: ObjectId,
+        /// Virtual page within the object.
+        vpage: u32,
+    },
+    /// A parity upset hit a dirty resident page: the modified data in
+    /// the interface memory is lost, so the run cannot be repaired in
+    /// place (only reachable with fault injection).
+    ParityLoss {
+        /// Frame whose contents were lost.
+        frame: usize,
+    },
 }
 
 impl fmt::Display for VimError {
@@ -75,6 +92,14 @@ impl fmt::Display for VimError {
                     "{requested} parameters exceed the page capacity of {capacity}"
                 )
             }
+            VimError::TransferFault { obj, vpage } => write!(
+                f,
+                "page {vpage} of {obj} failed to transfer after retries were exhausted"
+            ),
+            VimError::ParityLoss { frame } => write!(
+                f,
+                "parity upset destroyed dirty data in interface frame {frame}"
+            ),
         }
     }
 }

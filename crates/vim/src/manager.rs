@@ -16,6 +16,7 @@ use vcop_imu::tlb::{Asid, TlbEntry, VirtualPage};
 use vcop_sim::bus::SlaveProfile;
 use vcop_sim::clock::ClockDomain;
 use vcop_sim::dma::{AsyncDmaEngine, TransferId};
+use vcop_sim::fault::{FaultInjector, FaultSite};
 use vcop_sim::mem::{DualPortRam, PageIndex, Port};
 use vcop_sim::stats::{Counters, TimeBuckets};
 use vcop_sim::time::SimTime;
@@ -162,6 +163,13 @@ struct InFlight {
     obj: ObjectId,
     vpage: u32,
     kind: InFlightKind,
+    /// Times this transfer was re-submitted after an injected corruption.
+    attempts: u32,
+    /// The transfer was dropped from the engine (injected timeout, or
+    /// retries exhausted): it will never complete. Only a watchdog at a
+    /// higher layer notices; the entry keeps its frame pinned until the
+    /// execution is torn down or the tenant aborted.
+    lost: bool,
 }
 
 /// The Virtual Interface Manager.
@@ -195,6 +203,17 @@ pub struct Vim {
     /// frame was pinned by an in-flight transfer; retried on each
     /// completion. One entry per stalled tenant.
     deferred_demand: VecDeque<(Asid, ObjectId, u32)>,
+    /// Fault injector consulted at every transfer opportunity. Disabled
+    /// by default, in which case every injection path is a single
+    /// branch.
+    faults: FaultInjector,
+    /// Bounded retry budget for one page transfer before the fault
+    /// escalates ([`VimError::TransferFault`] on synchronous paths, a
+    /// lost transfer on overlapped ones).
+    max_transfer_retries: u32,
+    /// A synchronous transfer exhausted its retries; surfaced as
+    /// [`VimError::TransferFault`] by the service that triggered it.
+    transfer_failure: Option<(ObjectId, u32)>,
 }
 
 impl Vim {
@@ -229,6 +248,9 @@ impl Vim {
             bus_clock,
             in_flight: Vec::new(),
             deferred_demand: VecDeque::new(),
+            faults: FaultInjector::disabled(),
+            max_transfer_retries: 3,
+            transfer_failure: None,
         }
     }
 
@@ -330,6 +352,116 @@ impl Vim {
     /// The mapped object `id` of the current address space, if present.
     pub fn object(&self, id: ObjectId) -> Option<&MappedObject> {
         self.objects.get(&(self.current_asid.0, id.0))
+    }
+
+    /// Mutable view of object `id`'s user buffer in the current address
+    /// space. The software-fallback path writes recomputed results
+    /// through this, exactly where the hardware write-backs would have
+    /// landed.
+    pub fn object_data_mut(&mut self, id: ObjectId) -> Option<&mut [u8]> {
+        self.objects
+            .get_mut(&(self.current_asid.0, id.0))
+            .map(|o| o.data_mut().as_mut_slice())
+    }
+
+    /// Arms (or disarms) fault injection. All transfer, bus and
+    /// configuration opportunities in this manager roll on the given
+    /// injector from now on.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = injector;
+    }
+
+    /// The fault injector (for reading fired counters).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Mutable injector access — the platform rolls IRQ, bitstream and
+    /// parity opportunities on the same injector so one seed drives the
+    /// whole stack.
+    pub fn fault_injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.faults
+    }
+
+    /// Bounds how often one page transfer is retried after an injected
+    /// corruption before the fault escalates (default 3).
+    pub fn set_max_transfer_retries(&mut self, retries: u32) {
+        self.max_transfer_retries = retries;
+    }
+
+    /// Whether a page the coprocessor is (or will be) stalled on can no
+    /// longer arrive: its transfer was dropped by an injected timeout or
+    /// exhausted its retry budget. The platform's watchdog polls this to
+    /// fail fast instead of idling out the edge budget.
+    pub fn demand_lost(&self) -> bool {
+        self.in_flight.iter().any(|f| {
+            f.lost
+                && match f.kind {
+                    InFlightKind::Load { demand } => demand,
+                    InFlightKind::Writeback { then_load } => {
+                        matches!(then_load, Some(c) if c.demand)
+                    }
+                }
+        })
+    }
+
+    /// Like [`Vim::demand_lost`], restricted to pages owned by `asid`
+    /// (per-tenant watchdogs in the multi-tenant engine).
+    pub fn demand_lost_for(&self, asid: Asid) -> bool {
+        self.in_flight.iter().any(|f| {
+            f.lost
+                && match f.kind {
+                    InFlightKind::Load { demand } => demand && f.asid == asid,
+                    InFlightKind::Writeback { then_load } => {
+                        matches!(then_load, Some(c) if c.demand && c.asid == asid)
+                    }
+                }
+        })
+    }
+
+    /// Converts a recorded synchronous-transfer failure into its error.
+    fn check_transfer_failure(&mut self) -> Result<(), VimError> {
+        match self.transfer_failure.take() {
+            Some((obj, vpage)) => Err(VimError::TransferFault { obj, vpage }),
+            None => Ok(()),
+        }
+    }
+
+    /// Rolls the injected-fault sites that afflict one synchronous page
+    /// copy priced at `base`: a corrupt copy is redone (bounded by the
+    /// retry budget, each redo paying the copy again plus descriptor
+    /// setup), and a bus stall stretches the copy. Returns the total
+    /// time; on an exhausted retry budget the failure is recorded for
+    /// [`Vim::check_transfer_failure`] and the page's data must not be
+    /// trusted.
+    fn inject_copy_faults(
+        &mut self,
+        base: SimTime,
+        asid: Asid,
+        obj: ObjectId,
+        vpage: u32,
+    ) -> SimTime {
+        if !self.faults.is_enabled() {
+            return base;
+        }
+        let mut total = base;
+        if self.faults.roll_tagged(FaultSite::BusStall, asid.0) {
+            total += self.bus_time(self.faults.bus_stall_cycles());
+            self.counters.incr("bus_stalled");
+        }
+        let mut attempts = 0u32;
+        while self.faults.roll_tagged(FaultSite::DmaCorrupt, asid.0) {
+            attempts += 1;
+            if attempts > self.max_transfer_retries {
+                self.transfer_failure = Some((obj, vpage));
+                return total;
+            }
+            // Redo the copy: the CRC check caught the corruption, the
+            // driver reprograms the descriptor and pays the move again.
+            total += base + self.cost.dma_setup_time();
+            self.counters.incr("transfer_retry");
+        }
+        total
     }
 
     /// Objects mapped by the current address space, in id order.
@@ -645,7 +777,10 @@ impl Vim {
         dpram: &mut DualPortRam,
     ) -> SimTime {
         match self.copy_page_in(asid, obj, vpage, frame, dpram) {
-            Some((user_addr, bytes)) => self.cost.page_move_time(user_addr, bytes),
+            Some((user_addr, bytes)) => {
+                let base = self.cost.page_move_time(user_addr, bytes);
+                self.inject_copy_faults(base, asid, obj, vpage)
+            }
             None => SimTime::ZERO,
         }
     }
@@ -661,7 +796,8 @@ impl Vim {
         dpram: &mut DualPortRam,
     ) -> SimTime {
         let (user_addr, bytes) = self.copy_page_out(asid, obj, vpage, frame, dpram);
-        self.cost.page_move_time(user_addr, bytes)
+        let base = self.cost.page_move_time(user_addr, bytes);
+        self.inject_copy_faults(base, asid, obj, vpage)
     }
 
     /// Allocates a frame for a new page, evicting (and writing back a
@@ -854,8 +990,11 @@ impl Vim {
             obj,
             vpage,
             kind: InFlightKind::Load { demand },
+            attempts: 0,
+            lost: false,
         });
         self.counters.incr("dma_transfer");
+        self.inject_submit_faults(ticket, asid);
     }
 
     /// Enqueues an asynchronous write-back of `resident` out of `frame`
@@ -888,8 +1027,39 @@ impl Vim {
             obj: resident.obj,
             vpage: resident.vpage,
             kind: InFlightKind::Writeback { then_load },
+            attempts: 0,
+            lost: false,
         });
         self.counters.incr("dma_transfer");
+        self.inject_submit_faults(ticket, resident.asid);
+    }
+
+    /// Rolls the injected-fault sites that afflict a freshly submitted
+    /// asynchronous transfer: a timeout silently drops it from the
+    /// engine (marking the tracked entry lost), a bus stall stretches
+    /// it. Must be called with the transfer already pushed onto
+    /// `in_flight`.
+    fn inject_submit_faults(&mut self, ticket: TransferId, asid: Asid) {
+        if !self.faults.is_enabled() {
+            return;
+        }
+        if self.faults.roll_tagged(FaultSite::DmaTimeout, asid.0) {
+            self.dma
+                .as_mut()
+                .expect("overlap engine")
+                .drop_transfer(ticket);
+            if let Some(f) = self.in_flight.iter_mut().find(|f| f.ticket == ticket) {
+                f.lost = true;
+            }
+            self.counters.incr("dma_lost");
+        } else if self.faults.roll_tagged(FaultSite::BusStall, asid.0) {
+            let cycles = self.faults.bus_stall_cycles();
+            self.dma
+                .as_mut()
+                .expect("overlap engine")
+                .stall_transfer(ticket, cycles);
+            self.counters.incr("bus_stalled");
+        }
     }
 
     /// Allocates a frame for the demand page and starts its asynchronous
@@ -1022,6 +1192,49 @@ impl Vim {
         }
     }
 
+    /// Requeues the transfer at `in_flight[idx]` after its completion
+    /// arrived corrupt: the data is re-staged and a fresh engine
+    /// transfer submitted with the same geometry, charged as completion
+    /// interrupt + descriptor setup. With the retry budget spent the
+    /// transfer is abandoned instead — its frame stays pinned and the
+    /// entry is marked lost, which a demand-side watchdog will notice.
+    fn retry_corrupt_completion(&mut self, idx: usize, dpram: &mut DualPortRam) {
+        let e = self.in_flight[idx];
+        if e.attempts >= self.max_transfer_retries {
+            self.in_flight[idx].lost = true;
+            self.counters.incr("dma_lost");
+            self.times.add("sw_imu", self.cost.dma_completion_time());
+            return;
+        }
+        let (bytes, from, to) = match e.kind {
+            InFlightKind::Load { .. } => (
+                self.copy_page_in(e.asid, e.obj, e.vpage, e.frame, dpram)
+                    .map_or(0, |(_, b)| b),
+                SlaveProfile::SDRAM,
+                SlaveProfile::DPRAM,
+            ),
+            InFlightKind::Writeback { .. } => (
+                self.copy_page_out(e.asid, e.obj, e.vpage, e.frame, dpram).1,
+                SlaveProfile::DPRAM,
+                SlaveProfile::SDRAM,
+            ),
+        };
+        let bus = *self.cost.bus();
+        let ticket = self
+            .dma
+            .as_mut()
+            .expect("overlap engine")
+            .submit(&bus, bytes, from, to);
+        let f = &mut self.in_flight[idx];
+        f.ticket = ticket;
+        f.attempts += 1;
+        self.times.add(
+            "sw_imu",
+            self.cost.dma_completion_time() + self.cost.dma_setup_time(),
+        );
+        self.counters.incr("transfer_retry");
+    }
+
     /// Applies one engine completion at bus-edge time `t`.
     fn handle_completion(
         &mut self,
@@ -1036,6 +1249,16 @@ impl Vim {
             .iter()
             .position(|f| f.ticket == completion.id)
             .expect("completion for a tracked transfer");
+        if self
+            .faults
+            .roll_tagged(FaultSite::DmaCorrupt, self.in_flight[idx].asid.0)
+        {
+            // The payload arrived corrupt: the completion handler's CRC
+            // check rejects it and the transfer is re-queued (or, with
+            // the retry budget spent, abandoned as lost).
+            self.retry_corrupt_completion(idx, dpram);
+            return;
+        }
         let entry = self.in_flight.remove(idx);
         match entry.kind {
             InFlightKind::Load { demand } => {
@@ -1221,6 +1444,7 @@ impl Vim {
             self.counters.incr("dma_cancelled");
         }
         self.deferred_demand.clear();
+        self.transfer_failure = None;
     }
 
     /// Services a translation fault: the *Page Fault* request of
@@ -1253,6 +1477,35 @@ impl Vim {
         match cause {
             FaultCause::UnknownObject { obj } => return Err(VimError::UnknownObject(obj)),
             FaultCause::ParamPageGone => return Err(VimError::ParamPageGone),
+            FaultCause::Parity { entry } => {
+                // A parity upset corrupted CAM entry `entry`. A clean
+                // resident page is repaired in place: drop the mapping
+                // and reload the page from its user-space master copy.
+                // A dirty page has no master copy of its modifications —
+                // the data in the interface memory is lost and the run
+                // cannot be trusted.
+                self.counters.incr("parity_fault");
+                let e = *imu.tlb().entry(entry);
+                if e.valid {
+                    if e.dirty {
+                        return Err(VimError::ParityLoss { frame: e.frame.0 });
+                    }
+                    imu.tlb_mut().invalidate(entry);
+                    out.imu += self.cost.tlb_update_time();
+                    if let Some(r) = self.frames.evict(e.frame) {
+                        self.policy.on_evict(r.obj, r.vpage);
+                    }
+                    self.install_page(
+                        e.asid,
+                        e.vpage.obj,
+                        e.vpage.page,
+                        e.frame,
+                        imu,
+                        dpram,
+                        &mut out,
+                    );
+                }
+            }
             FaultCause::TlbMiss { vpage, .. } => {
                 let o = self
                     .objects
@@ -1337,6 +1590,7 @@ impl Vim {
             }
         }
 
+        self.check_transfer_failure()?;
         imu.resume();
         out.imu += self.cost.resume_time();
         self.times.add("sw_dp", out.dp);
@@ -1381,6 +1635,7 @@ impl Vim {
             imu.tlb_mut().invalidate(frame.0);
             self.frames.evict(frame);
         }
+        self.check_transfer_failure()?;
         imu.clear_done();
         self.times.add("sw_dp", out.dp);
         self.times.add("sw_imu", out.imu);
@@ -1430,10 +1685,108 @@ impl Vim {
             imu.tlb_mut().invalidate(frame.0);
             self.frames.evict(frame);
         }
+        self.check_transfer_failure()?;
         imu.clear_done();
         self.times.add("sw_dp", out.dp);
         self.times.add("sw_imu", out.imu);
         Ok(out)
+    }
+
+    /// Aborts tenant `asid`'s execution mid-flight so a misbehaving
+    /// tenant can be degraded to software without touching co-tenants:
+    /// its in-flight transfers are dropped from the engine, its frames
+    /// (loading, evicting, resident and parameter) released, its TLB
+    /// entries invalidated, and its deferred demands discarded. A
+    /// write-back owned by the aborted tenant whose frame was chained to
+    /// a *co-tenant's* load re-defers that co-tenant's demand instead of
+    /// losing it. The hardware run's partial results are discarded —
+    /// callers recompute outputs in software.
+    ///
+    /// Returns the demand-page arrivals produced by re-deferred
+    /// co-tenant demands that could start (and even finish) immediately.
+    pub fn abort_tenant(
+        &mut self,
+        asid: Asid,
+        imu: &mut Imu,
+        dpram: &mut DualPortRam,
+        now: SimTime,
+    ) -> Vec<DemandReady> {
+        let mut ready = Vec::new();
+        let mut rescue = Vec::new();
+        let entries = std::mem::take(&mut self.in_flight);
+        let mut kept = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let owned = entry.asid == asid;
+            let chained_other = match entry.kind {
+                InFlightKind::Writeback {
+                    then_load: Some(c), ..
+                } if c.asid != asid => Some(c),
+                _ => None,
+            };
+            if !owned {
+                // A co-tenant's transfer chained to the aborted tenant's
+                // load: keep the write-back, drop only the chain.
+                if let InFlightKind::Writeback {
+                    then_load: Some(c), ..
+                } = entry.kind
+                {
+                    if c.asid == asid {
+                        let mut e = entry;
+                        e.kind = InFlightKind::Writeback { then_load: None };
+                        kept.push(e);
+                        continue;
+                    }
+                }
+                kept.push(entry);
+                continue;
+            }
+            // The aborted tenant owns this transfer.
+            if !entry.lost {
+                if let Some(engine) = &mut self.dma {
+                    engine.drop_transfer(entry.ticket);
+                }
+            }
+            match entry.kind {
+                InFlightKind::Load { .. } => {
+                    self.frames.cancel_load(entry.frame);
+                    imu.tlb_mut().invalidate(entry.frame.0);
+                }
+                InFlightKind::Writeback { .. } => {
+                    // The outbound copy was staged at submission, so no
+                    // co-tenant data is lost by releasing the frame.
+                    self.frames.finish_evict(entry.frame);
+                    if let Some(c) = chained_other {
+                        rescue.push((c.asid, c.obj, c.vpage, c.demand));
+                    }
+                }
+            }
+            self.counters.incr("dma_cancelled");
+        }
+        self.in_flight = kept;
+
+        // Release the tenant's resident pages without write-back: the
+        // aborted hardware run's partial output is not trusted.
+        for (frame, resident) in self.frames.residents() {
+            if resident.asid == asid {
+                imu.tlb_mut().invalidate(frame.0);
+                self.frames.evict(frame);
+            }
+        }
+        if let Some(f) = self.param_frames.remove(&asid.0) {
+            self.frames.release_params(f);
+        }
+        imu.tlb_mut().invalidate_asid(asid);
+        self.deferred_demand.retain(|&(a, _, _)| a != asid);
+
+        // Restart co-tenant demands that were chained behind the aborted
+        // tenant's write-backs.
+        for (a, obj, vpage, demand) in rescue {
+            if demand {
+                self.deferred_demand.push_back((a, obj, vpage));
+            }
+        }
+        self.retry_deferred(now, imu, dpram, &mut ready);
+        ready
     }
 }
 

@@ -1,0 +1,398 @@
+//! Fault injection, watchdog recovery and transparent software
+//! fallback: whatever the injector throws at the platform, the
+//! application receives byte-identical results (or a clean error when
+//! no fallback is registered), and the detour is visible only in the
+//! report's recovery counters.
+
+use vcop::{
+    Direction, ElemSize, Error, FallbackFn, FaultPlan, FaultSite, MapHints, RecoveryPolicy, System,
+    SystemBuilder,
+};
+use vcop_apps::adpcm::codec as adpcm_codec;
+use vcop_apps::adpcm::hw::{AdpcmCoprocessor, OBJ_INPUT, OBJ_OUTPUT};
+use vcop_apps::timing;
+use vcop_fabric::bitstream::Bitstream;
+use vcop_fabric::loader::LoadError;
+use vcop_fabric::port::{Coprocessor, CoprocessorPort, ObjectId, Wake};
+use vcop_sim::time::SimTime;
+use vcop_vim::VimError;
+
+/// Synthetic adpcm workload: (coded input, expected output bytes).
+fn adpcm_input() -> (Vec<u8>, Vec<u8>) {
+    let pcm = adpcm_codec::synthetic_pcm(6 * 1024);
+    let coded = adpcm_codec::encode(&pcm, &mut ());
+    let (expected, _) = timing::adpcm_sw(&coded);
+    let expect_bytes = expected
+        .iter()
+        .flat_map(|s| (*s as u16).to_le_bytes())
+        .collect();
+    (coded, expect_bytes)
+}
+
+/// An adpcm system with `coded` mapped, optionally faulty/overlapped.
+fn build_adpcm(coded: &[u8], plan: Option<FaultPlan>, overlap: bool) -> System {
+    let mut builder =
+        SystemBuilder::epxa1().clocks(timing::ADPCM_CORE_FREQ, timing::ADPCM_IMU_FREQ);
+    if overlap {
+        builder = builder.overlap(true).dma_channels(2);
+    }
+    if let Some(plan) = plan {
+        builder = builder.faults(plan);
+    }
+    let mut system = builder.build();
+    let bs = Bitstream::builder("adpcmdecode")
+        .synthetic_payload(2048)
+        .build();
+    system
+        .fpga_load(&bs.to_bytes(), Box::new(AdpcmCoprocessor::new()))
+        .expect("load");
+    let hints = MapHints {
+        sequential: true,
+        ..Default::default()
+    };
+    system
+        .fpga_map_object(
+            OBJ_INPUT,
+            coded.to_vec(),
+            ElemSize::U8,
+            Direction::In,
+            hints,
+        )
+        .expect("map input");
+    system
+        .fpga_map_object(
+            OBJ_OUTPUT,
+            vec![0; coded.len() * 4],
+            ElemSize::U16,
+            Direction::Out,
+            hints,
+        )
+        .expect("map output");
+    system
+}
+
+/// The software twin of the adpcm core, as a registrable fallback.
+fn adpcm_fallback() -> FallbackFn {
+    FallbackFn::new("adpcm-sw", |io, params| {
+        let n = params[0] as usize;
+        let input = io.object(OBJ_INPUT).ok_or("input not mapped")?[..n].to_vec();
+        let (samples, cpu) = timing::adpcm_sw(&input);
+        let out = io.object_mut(OBJ_OUTPUT).ok_or("output not mapped")?;
+        for (chunk, s) in out.chunks_exact_mut(2).zip(&samples) {
+            chunk.copy_from_slice(&(*s as u16).to_le_bytes());
+        }
+        Ok(cpu)
+    })
+}
+
+#[test]
+fn zero_rate_injector_is_byte_identical_to_plain_run() {
+    let (coded, expect) = adpcm_input();
+    let n = coded.len() as u32;
+
+    let mut plain = build_adpcm(&coded, None, false);
+    let r_plain = plain.fpga_execute(&[n]).expect("plain run");
+
+    // An armed injector whose plan never fires must be observationally
+    // invisible: same report, same bytes, no PRNG-induced drift.
+    let mut armed = build_adpcm(&coded, Some(FaultPlan::new(0xDEAD_BEEF)), false);
+    assert!(armed.fault_injector().is_enabled());
+    let mut r_armed = armed.fpga_execute(&[n]).expect("armed run");
+
+    assert_eq!(r_armed.execute_attempts, 1, "clean first attempt");
+    assert_eq!(r_armed.injected_faults, 0);
+    assert_eq!(r_armed.watchdog_resets, 0);
+    assert_eq!(r_armed.recovery_time, SimTime::ZERO);
+    assert!(!r_armed.fallback_taken);
+    // The attempt counter is pure bookkeeping (0 when recovery is off);
+    // normalise it and demand full equality of everything else.
+    r_armed.execute_attempts = r_plain.execute_attempts;
+    assert_eq!(r_plain, r_armed);
+
+    let out_plain = plain.take_object(OBJ_OUTPUT).expect("mapped");
+    let out_armed = armed.take_object(OBJ_OUTPUT).expect("mapped");
+    assert_eq!(out_plain, out_armed);
+    assert_eq!(out_plain, expect);
+}
+
+/// A coprocessor that writes one element in each of a scripted list of
+/// pages, hopping across the object so demand paging can never stream:
+/// under overlapped paging every hop submits an asynchronous DMA load,
+/// keeping both channels busy — exactly the in-flight burst the
+/// watchdog tests need to interrupt.
+#[derive(Debug)]
+struct PageHopper {
+    targets: Vec<u32>,
+    pos: usize,
+    state: u8, // 0 wait, 1 fetch param, 2 await, 3 issue, 4 await, 5 done
+}
+
+/// The value PageHopper stores at element `index`.
+fn hop_value(index: u32) -> u32 {
+    index.wrapping_mul(0x9E37_79B9) | 1
+}
+
+impl Coprocessor for PageHopper {
+    fn name(&self) -> &str {
+        "page-hopper"
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+        self.state = 0;
+    }
+
+    fn step(&mut self, port: &mut CoprocessorPort) {
+        match self.state {
+            0 if port.started() => self.state = 1,
+            1 if port.can_issue() => {
+                port.issue_read(ObjectId::PARAM, 0);
+                self.state = 2;
+            }
+            2 if port.take_completed().is_some() => {
+                port.param_done();
+                self.state = 3;
+            }
+            3 => {
+                if self.pos == self.targets.len() {
+                    port.finish();
+                    self.state = 5;
+                } else if port.can_issue() {
+                    let index = self.targets[self.pos];
+                    port.issue_write(ObjectId(0), index, hop_value(index));
+                    self.state = 4;
+                }
+            }
+            4 if port.take_completed().is_some() => {
+                self.pos += 1;
+                self.state = 3;
+            }
+            _ => {}
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.state == 5
+    }
+
+    fn next_wake(&self, port: &CoprocessorPort) -> Wake {
+        let gate = |acts: bool| if acts { Wake::In(1) } else { Wake::Never };
+        match self.state {
+            0 => gate(port.started()),
+            1 => gate(port.can_issue()),
+            2 | 4 => gate(port.peek_completed().is_some()),
+            3 if self.pos == self.targets.len() => Wake::In(1),
+            3 => gate(port.can_issue()),
+            _ => Wake::Never,
+        }
+    }
+}
+
+/// Runs the page hopper over a 16-page object (EPXA1 has 8 frames, so
+/// the hops page constantly) and returns (report, final object bytes).
+fn run_hopper(plan: Option<FaultPlan>) -> (vcop::ExecutionReport, Vec<u8>) {
+    const ELEMS_PER_PAGE: u32 = 512; // 2 KB pages of u32
+    let order: &[u32] = &[0, 5, 10, 15, 1, 6, 11, 2, 7, 12, 3, 8, 13, 4, 9, 14];
+    let targets: Vec<u32> = order.iter().map(|p| p * ELEMS_PER_PAGE + 7).collect();
+
+    let mut builder = SystemBuilder::epxa1().overlap(true).dma_channels(2);
+    if let Some(plan) = plan {
+        builder = builder.faults(plan);
+    }
+    let mut system = builder.build();
+    let bs = Bitstream::builder("page-hopper").build();
+    system
+        .fpga_load(
+            &bs.to_bytes(),
+            Box::new(PageHopper {
+                targets: targets.clone(),
+                pos: 0,
+                state: 0,
+            }),
+        )
+        .expect("load");
+    let data: Vec<u8> = (0..16 * 2048u32).map(|i| i as u8).collect();
+    system
+        .fpga_map_object(
+            ObjectId(0),
+            data,
+            ElemSize::U32,
+            Direction::InOut,
+            MapHints::default(),
+        )
+        .expect("map");
+    let report = system.fpga_execute(&[targets.len() as u32]).expect("run");
+    let out = system.take_object(ObjectId(0)).expect("mapped");
+    (report, out)
+}
+
+#[test]
+fn watchdog_recovers_lost_dma_mid_burst() {
+    // Fault-free reference, and a sanity check that the workload really
+    // keeps several asynchronous transfers in flight.
+    let (r_clean, clean) = run_hopper(None);
+    assert!(
+        r_clean.dma_transfers >= 8,
+        "hopper must generate a DMA burst, got {}",
+        r_clean.dma_transfers
+    );
+
+    // Silently lose the 4th DMA submission — the middle of the burst.
+    // No completion interrupt will ever arrive; only the watchdog can
+    // notice the platform has stopped making progress.
+    let plan = FaultPlan::new(5).once(FaultSite::DmaTimeout, 4);
+    let (report, out) = run_hopper(Some(plan));
+
+    assert_eq!(report.injected_faults, 1, "exactly the scheduled loss");
+    assert!(report.watchdog_resets >= 1, "watchdog reset the fabric");
+    assert!(report.execute_attempts >= 2, "first attempt was abandoned");
+    assert!(report.recovery_time > SimTime::ZERO);
+    assert!(report.wall >= report.recovery_time);
+    assert_eq!(out, clean, "recovered bytes match the fault-free run");
+}
+
+#[test]
+fn watchdog_recovers_lost_demand_page() {
+    let (coded, expect) = adpcm_input();
+    let n = coded.len() as u32;
+
+    // The adpcm stream's one demand transfer is silently dropped: the
+    // coprocessor stalls on a page that will never arrive.
+    let plan = FaultPlan::new(5).once(FaultSite::DmaTimeout, 1);
+    let mut sys = build_adpcm(&coded, Some(plan), true);
+    let report = sys.fpga_execute(&[n]).expect("recovered run");
+
+    assert_eq!(report.injected_faults, 1);
+    assert!(report.watchdog_resets >= 1, "watchdog reset the fabric");
+    assert!(report.execute_attempts >= 2);
+    assert_eq!(sys.take_object(OBJ_OUTPUT).expect("mapped"), expect);
+}
+
+#[test]
+fn dropped_fault_irq_is_caught_by_watchdog() {
+    let (coded, expect) = adpcm_input();
+    let n = coded.len() as u32;
+
+    // Drop the very first translation-fault interrupt: the IMU sits
+    // faulted forever and the OS is never told.
+    let plan = FaultPlan::new(7).once(FaultSite::IrqDrop, 1);
+    let mut sys = build_adpcm(&coded, Some(plan), false);
+    sys.set_recovery(Some(RecoveryPolicy {
+        watchdog_edges: Some(20_000),
+        ..RecoveryPolicy::default()
+    }));
+    let report = sys.fpga_execute(&[n]).expect("recovered run");
+
+    assert_eq!(report.injected_faults, 1);
+    assert_eq!(report.watchdog_resets, 1);
+    assert_eq!(report.execute_attempts, 2, "second attempt ran clean");
+    assert!(!report.fallback_taken);
+    assert_eq!(sys.take_object(OBJ_OUTPUT).expect("mapped"), expect);
+}
+
+#[test]
+fn exhausted_retries_fall_back_to_software() {
+    let (coded, expect) = adpcm_input();
+    let n = coded.len() as u32;
+
+    // Every page transfer arrives corrupt: bounded retries exhaust,
+    // every hardware attempt dies, and the registered software twin
+    // serves the request transparently.
+    let plan = FaultPlan::new(11).rate(FaultSite::DmaCorrupt, 1.0);
+    let mut sys = build_adpcm(&coded, Some(plan), false);
+    sys.set_software_fallback(Box::new(adpcm_fallback()));
+    let report = sys.fpga_execute(&[n]).expect("fallback serves the app");
+
+    assert!(report.fallback_taken);
+    assert_eq!(
+        report.execute_attempts,
+        u64::from(RecoveryPolicy::default().max_attempts),
+        "all hardware attempts were spent first"
+    );
+    assert!(report.transfer_retries > 0, "retries were tried first");
+    assert!(report.injected_faults > 0);
+    assert!(report.recovery_time > SimTime::ZERO);
+    assert!(
+        report.wall > report.recovery_time,
+        "fallback CPU time added"
+    );
+    assert_eq!(sys.take_object(OBJ_OUTPUT).expect("mapped"), expect);
+}
+
+#[test]
+fn exhausted_retries_without_fallback_surface_the_error() {
+    let (coded, _) = adpcm_input();
+    let n = coded.len() as u32;
+
+    let plan = FaultPlan::new(11).rate(FaultSite::DmaCorrupt, 1.0);
+    let mut sys = build_adpcm(&coded, Some(plan), false);
+    let err = sys.fpga_execute(&[n]).expect_err("no fallback registered");
+    assert!(
+        matches!(err, Error::Vim(VimError::TransferFault { .. })),
+        "the original hardware cause is surfaced, got: {err}"
+    );
+}
+
+#[test]
+fn parity_upsets_are_absorbed_or_served_in_software() {
+    let (coded, expect) = adpcm_input();
+    let n = coded.len() as u32;
+
+    // Flip a translation entry after every synchronous fault service.
+    // Upsets on clean pages re-resolve; an upset on a dirty page loses
+    // data and burns the whole attempt. Either way the application
+    // sees the right bytes.
+    let plan = FaultPlan::new(23).rate(FaultSite::TlbParity, 1.0);
+    let mut sys = build_adpcm(&coded, Some(plan), false);
+    sys.set_software_fallback(Box::new(adpcm_fallback()));
+    let report = sys.fpga_execute(&[n]).expect("run completes");
+
+    assert!(report.injected_faults > 0, "upsets actually fired");
+    assert_eq!(sys.take_object(OBJ_OUTPUT).expect("mapped"), expect);
+}
+
+#[test]
+fn bus_stalls_delay_but_never_corrupt() {
+    let (coded, expect) = adpcm_input();
+    let n = coded.len() as u32;
+
+    let mut clean = build_adpcm(&coded, None, true);
+    let r_clean = clean.fpga_execute(&[n]).expect("clean run");
+
+    let plan = FaultPlan::new(31).rate(FaultSite::BusStall, 0.5);
+    let mut sys = build_adpcm(&coded, Some(plan), true);
+    let report = sys.fpga_execute(&[n]).expect("stalled run");
+
+    assert!(report.injected_faults > 0, "stalls actually fired");
+    assert!(!report.fallback_taken);
+    assert_eq!(report.watchdog_resets, 0, "late is not lost");
+    assert!(
+        report.wall >= r_clean.wall,
+        "starved transfers cannot speed things up"
+    );
+    assert_eq!(sys.take_object(OBJ_OUTPUT).expect("mapped"), expect);
+}
+
+#[test]
+fn dead_fabric_fails_configuration_cleanly() {
+    // Every configuration pass fails CRC: FPGA_LOAD gives up after the
+    // policy's bounded passes and reports the attempt count.
+    let plan = FaultPlan::new(3).rate(FaultSite::BitstreamLoad, 1.0);
+    let mut system = SystemBuilder::epxa1().faults(plan).build();
+    let bs = Bitstream::builder("adpcmdecode")
+        .synthetic_payload(2048)
+        .build();
+    let err = system
+        .fpga_load(&bs.to_bytes(), Box::new(AdpcmCoprocessor::new()))
+        .expect_err("configuration can never succeed");
+    match err {
+        Error::Load(LoadError::ConfigurationFault { attempts }) => {
+            assert_eq!(
+                attempts,
+                RecoveryPolicy::default().max_load_attempts,
+                "bounded by the recovery policy"
+            );
+        }
+        other => panic!("expected a configuration fault, got: {other}"),
+    }
+}
